@@ -1,0 +1,57 @@
+// Shared setup for the experiment benches: deterministic initial database,
+// scale-dependent pipeline options, and the weight cache location.
+//
+// Scales (see util/env.hpp): GNNDSE_FAST=1 for smoke runs, default for a
+// laptop-friendly reproduction, GNNDSE_FULL=1 for the configuration closest
+// to the paper.
+#pragma once
+
+#include <string>
+
+#include "db/explorer.hpp"
+#include "dse/pipeline.hpp"
+#include "kernels/kernels.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace gnndse::bench {
+
+inline constexpr std::uint64_t kDbSeed = 42;
+
+/// Deterministic initial database over the nine training kernels (§4.1,
+/// Table 1 budgets).
+inline db::Database make_initial_database(const hlssim::MerlinHls& hls) {
+  util::Rng rng(kDbSeed);
+  return db::generate_initial_database(kernels::make_training_kernels(), hls,
+                                       rng);
+}
+
+/// Training scale for the shared (cached) model bundle.
+inline dse::PipelineOptions scaled_pipeline_options() {
+  dse::PipelineOptions po;
+  po.main_epochs = util::by_scale(6, 30, 60);
+  po.bram_epochs = util::by_scale(3, 12, 25);
+  po.classifier_epochs = util::by_scale(3, 12, 25);
+  po.hidden = util::by_scale<std::int64_t>(32, 64, 64);
+  po.batch_size = 32;
+  return po;
+}
+
+inline const char* scale_tag() {
+  switch (util::run_scale()) {
+    case util::RunScale::kFast:
+      return "fast";
+    case util::RunScale::kFull:
+      return "full";
+    case util::RunScale::kDefault:
+      break;
+  }
+  return "default";
+}
+
+/// Weight-cache prefix shared by the benches that use the standard bundle.
+inline std::string bundle_cache_prefix() {
+  return std::string("gnndse_bundle_") + scale_tag();
+}
+
+}  // namespace gnndse::bench

@@ -1,0 +1,129 @@
+// Table 2: model ablation on the test set of the database.
+//
+// For each variant M1..M7: RMSE per regression objective (latency / DSP /
+// LUT / FF from the main model, BRAM from the separate model, "All" = sum)
+// plus accuracy and F1 of the validity classifier. 80/20 train/test split,
+// Adam at lr 1e-3, as in §5.1. GNNDSE_FULL additionally reports 3-fold
+// cross-validated training metrics.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/trainer.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gnndse;
+using model::ModelKind;
+
+namespace {
+
+struct Row {
+  model::RegressionMetrics reg;
+  model::ClassificationMetrics cls;
+};
+
+Row run_variant(ModelKind kind, const model::Dataset& ds,
+                const std::vector<std::size_t>& reg_train,
+                const std::vector<std::size_t>& reg_test,
+                const std::vector<std::size_t>& cls_train,
+                const std::vector<std::size_t>& cls_test) {
+  const int main_epochs = util::env_int(
+      "GNNDSE_TABLE2_EPOCHS", util::by_scale(4, 6, 50));
+  const int aux_epochs = std::max(2, main_epochs / 2);
+  const std::int64_t hidden = util::by_scale<std::int64_t>(32, 64, 64);
+
+  Row row;
+  util::Rng rng(11);
+
+  model::ModelOptions mo;
+  mo.kind = kind;
+  mo.hidden = hidden;
+
+  {  // main regression: latency/DSP/LUT/FF
+    mo.out_dim = 4;
+    model::PredictiveModel m(mo, rng);
+    model::TrainOptions to;
+    to.objectives = {model::kLatency, model::kDsp, model::kLut, model::kFf};
+    to.epochs = main_epochs;
+    model::Trainer tr(m, to);
+    tr.fit(ds, reg_train);
+    row.reg = model::eval_regression(tr, ds, reg_test);
+  }
+  {  // BRAM regression (separate model, §5.2.1)
+    mo.out_dim = 1;
+    model::PredictiveModel m(mo, rng);
+    model::TrainOptions to;
+    to.objectives = {model::kBram};
+    to.epochs = aux_epochs;
+    model::Trainer tr(m, to);
+    tr.fit(ds, reg_train);
+    row.reg = model::combine(row.reg, model::eval_regression(tr, ds, reg_test));
+  }
+  {  // validity classifier
+    mo.out_dim = 1;
+    model::PredictiveModel m(mo, rng);
+    model::TrainOptions to;
+    to.task = model::Task::kClassification;
+    to.epochs = aux_epochs;
+    to.lr = 3e-3f;  // imbalanced classes: see PipelineOptions::cls_lr
+    model::Trainer tr(m, to);
+    tr.fit(ds, cls_train);
+    row.cls = model::eval_classification(tr, ds, cls_test);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  util::Timer timer;
+  hlssim::MerlinHls hls;
+  auto kernels = kernels::make_training_kernels();
+  db::Database database = bench::make_initial_database(hls);
+  model::Normalizer norm = model::Normalizer::fit(database.points());
+  model::SampleFactory factory;
+  model::Dataset ds = model::build_dataset(database, kernels, norm, factory);
+
+  util::Rng split_rng(7);
+  auto [reg_train, reg_test] =
+      model::Dataset::split(ds.valid_indices(), 0.8, split_rng);
+  auto [cls_train, cls_test] =
+      model::Dataset::split(ds.all_indices(), 0.8, split_rng);
+  std::printf(
+      "dataset: %zu samples; regression %zu/%zu, classification %zu/%zu\n",
+      ds.samples.size(), reg_train.size(), reg_test.size(), cls_train.size(),
+      cls_test.size());
+
+  const std::vector<std::pair<std::string, ModelKind>> variants = {
+      {"M1", ModelKind::kM1MlpPragma},  {"M2", ModelKind::kM2MlpContext},
+      {"M3", ModelKind::kM3Gcn},        {"M4", ModelKind::kM4Gat},
+      {"M5", ModelKind::kM5Tconv},      {"M6", ModelKind::kM6TconvJkn},
+      {"M7", ModelKind::kM7Full}};
+
+  util::Table t{
+      "Table 2: Model evaluation on the test set (RMSE for regression; "
+      "accuracy/F1 for classification)"};
+  t.header({"Model", "Method", "Latency", "DSP", "LUT", "FF", "BRAM", "All",
+            "Accuracy", "F1-score"});
+  for (const auto& [tag, kind] : variants) {
+    util::Timer vt;
+    Row row = run_variant(kind, ds, reg_train, reg_test, cls_train, cls_test);
+    t.row({tag, model::to_string(kind),
+           util::Table::fmt(row.reg.rmse[model::kLatency]),
+           util::Table::fmt(row.reg.rmse[model::kDsp]),
+           util::Table::fmt(row.reg.rmse[model::kLut]),
+           util::Table::fmt(row.reg.rmse[model::kFf]),
+           util::Table::fmt(row.reg.rmse[model::kBram]),
+           util::Table::fmt(row.reg.rmse_sum),
+           util::Table::fmt(row.cls.accuracy, 2),
+           util::Table::fmt(row.cls.f1, 2)});
+    std::printf("[%s done in %.0fs]\n", tag.c_str(), vt.seconds());
+    std::fflush(stdout);
+  }
+  t.print(std::cout);
+  t.write_csv("table2.csv");
+  std::printf("\n[bench_table2] completed in %.1fs (scale: %s)\n",
+              timer.seconds(), bench::scale_tag());
+  return 0;
+}

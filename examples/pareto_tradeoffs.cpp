@@ -1,0 +1,87 @@
+// Pareto trade-offs (Problem 2, §3): GNN-DSE's objective is not a single
+// fastest design but the latency/resource frontier. This example sweeps a
+// small kernel exhaustively with the HLS substrate to get the *true*
+// Pareto front, then checks how much of that front a surrogate trained
+// only on other kernels recovers from its predictions.
+//
+// Build & run:  ./build/examples/pareto_tradeoffs
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/pareto.hpp"
+#include "db/explorer.hpp"
+#include "dse/dse.hpp"
+#include "dse/pipeline.hpp"
+#include "kernels/kernels.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+using namespace gnndse;
+
+int main() {
+  hlssim::MerlinHls hls;
+
+  // Train on matrix/stencil kernels; hold out spmv-ellpack entirely.
+  std::vector<kir::Kernel> train = {
+      kernels::make_kernel("atax"), kernels::make_kernel("gemm-ncubed"),
+      kernels::make_kernel("stencil"), kernels::make_kernel("spmv-crs")};
+  util::Rng rng(42);
+  db::Database database = db::generate_initial_database(
+      train, hls, rng, [](const std::string&) { return 250; });
+  model::SampleFactory factory;
+  dse::PipelineOptions po;
+  po.main_epochs = util::by_scale(5, 12, 30);
+  po.bram_epochs = 4;
+  po.classifier_epochs = 4;
+  dse::TrainedModels models(database, train, factory, po);
+
+  // True frontier: exhaustive HLS sweep of the held-out kernel.
+  kir::Kernel target = kernels::make_kernel("spmv-ellpack");
+  dspace::DesignSpace space(target);
+  std::vector<db::DataPoint> all;
+  space.for_each([&](const hlssim::DesignConfig& cfg) {
+    all.push_back({target.name, cfg, hls.evaluate(target, cfg)});
+  });
+  auto true_front = analysis::pareto_front(all);
+
+  util::Table t{"True Pareto front of spmv-ellpack (" +
+                std::to_string(all.size()) + " designs swept)"};
+  t.header({"Config", "Cycles", "LUT util", "BRAM util"});
+  for (auto i : true_front)
+    t.row({all[i].config.key(), util::Table::fmt(all[i].result.cycles, 0),
+           util::Table::fmt(all[i].result.util_lut, 3),
+           util::Table::fmt(all[i].result.util_bram, 3)});
+  t.print(std::cout);
+
+  // Surrogate-predicted top designs: how many land on the true front?
+  dse::ModelDse model_dse(models.bundle(), models.normalizer(), factory);
+  dse::DseOptions opts;
+  opts.top_m = static_cast<int>(true_front.size());
+  util::Rng rng2(3);
+  dse::DseResult r = model_dse.run(target, opts, rng2);
+
+  std::size_t hits = 0;
+  for (const auto& d : r.top)
+    for (auto i : true_front)
+      if (all[i].config == d.config) {
+        ++hits;
+        break;
+      }
+  std::printf(
+      "\nsurrogate (never trained on spmv-ellpack) placed %zu of its top "
+      "%zu picks on the %zu-design true Pareto front\n",
+      hits, r.top.size(), true_front.size());
+
+  // And the single best pick after HLS verification:
+  auto ev = model_dse.evaluate_top(target, r, hls);
+  if (ev.best) {
+    double best_true = 1e30;
+    for (auto i : true_front)
+      best_true = std::min(best_true, all[i].result.cycles);
+    std::printf("best verified design: %.0f cycles (true optimum %.0f, "
+                "ratio %.2f)\n",
+                ev.best->result.cycles, best_true,
+                ev.best->result.cycles / best_true);
+  }
+  return 0;
+}

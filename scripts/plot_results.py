@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Render the CSVs written by the bench binaries as figures.
+
+Usage (after running the benches, from the directory holding the CSVs):
+
+    python3 scripts/plot_results.py [--out plots/]
+
+Produces:
+    fig6_tsne.png  — the two t-SNE panels of Fig 6, colored by latency
+    fig7_dse.png   — the per-kernel speedup bars of Fig 7
+Requires matplotlib; the C++ benches do not depend on this script.
+"""
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def plot_fig6(path, out):
+    import matplotlib.pyplot as plt
+
+    _, rows = read_csv(path)
+    panels = {"initial": ([], [], []), "learned": ([], [], [])}
+    for emb, x, y, lat in rows:
+        xs, ys, cs = panels[emb]
+        xs.append(float(x))
+        ys.append(float(y))
+        cs.append(float(lat))
+    fig, axes = plt.subplots(1, 2, figsize=(10, 4.2))
+    for ax, (name, (xs, ys, cs)) in zip(axes, panels.items()):
+        sc = ax.scatter(xs, ys, c=cs, cmap="viridis", s=14)
+        ax.set_title(
+            "(a) initial embeddings" if name == "initial"
+            else "(b) embeddings learned by GNN-DSE")
+        ax.set_xticks([])
+        ax.set_yticks([])
+    fig.colorbar(sc, ax=axes, label="latency target (higher = faster)")
+    fig.suptitle("Fig 6: t-SNE of stencil design configurations")
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print(f"wrote {out}")
+
+
+def plot_fig7(path, out):
+    import matplotlib.pyplot as plt
+
+    header, rows = read_csv(path)
+    rounds = header[1:]
+    kernels = [r[0] for r in rows if r[0] != "Average"]
+    data = {
+        r[0]: [float(v.rstrip("x")) for v in r[1:]]
+        for r in rows
+    }
+    fig, ax = plt.subplots(figsize=(11, 4))
+    width = 0.8 / len(rounds)
+    for ri, rname in enumerate(rounds):
+        xs = [i + ri * width for i in range(len(kernels))]
+        ax.bar(xs, [data[k][ri] for k in kernels], width, label=rname)
+    ax.axhline(1.0, color="gray", linestyle="--", linewidth=0.8)
+    ax.set_xticks([i + 0.4 - width / 2 for i in range(len(kernels))])
+    ax.set_xticklabels(kernels, rotation=20)
+    ax.set_ylabel("speedup vs best initial-DB design")
+    avgs = ", ".join(
+        f"{r}: {data['Average'][i]:.2f}x" for i, r in enumerate(rounds))
+    ax.set_title(f"Fig 7: GNN-DSE speedup per DSE round ({avgs})")
+    ax.legend()
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print(f"wrote {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--out", default=".")
+    args = ap.parse_args()
+    os.makedirs(args.out, exist_ok=True)
+    any_done = False
+    if os.path.exists("fig6_tsne.csv"):
+        plot_fig6("fig6_tsne.csv", os.path.join(args.out, "fig6_tsne.png"))
+        any_done = True
+    if os.path.exists("fig7_dse.csv"):
+        plot_fig7("fig7_dse.csv", os.path.join(args.out, "fig7_dse.png"))
+        any_done = True
+    if not any_done:
+        print("no fig6_tsne.csv / fig7_dse.csv here — run the benches first",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

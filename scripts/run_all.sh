@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, run every bench.
+# Usage: scripts/run_all.sh [fast|default|full]
+set -u
+cd "$(dirname "$0")/.."
+
+scale="${1:-default}"
+case "$scale" in
+  fast) export GNNDSE_FAST=1 ;;
+  full) export GNNDSE_FULL=1 ;;
+  default) ;;
+  *) echo "usage: $0 [fast|default|full]" >&2; exit 2 ;;
+esac
+
+cmake -B build -G Ninja && cmake --build build || exit 1
+ctest --test-dir build 2>&1 | tee test_output.txt || exit 1
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

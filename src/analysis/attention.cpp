@@ -1,0 +1,56 @@
+#include "analysis/attention.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "gnn/batch.hpp"
+#include "tensor/tape.hpp"
+
+namespace gnndse::analysis {
+
+std::vector<NodeAttention> attention_scores(model::PredictiveModel& m7,
+                                            model::SampleFactory& factory,
+                                            const kir::Kernel& kernel,
+                                            const hlssim::DesignConfig& cfg) {
+  gnn::GraphData g = factory.featurize(kernel, cfg);
+  gnn::GraphBatch batch = gnn::make_batch({&g});
+  tensor::Tape tape;
+  m7.forward(tape, batch);
+  const tensor::Tensor& alpha = tape.value(m7.last_attention());
+
+  const graphgen::ProgramGraph& pg = factory.graph(kernel);
+  std::vector<NodeAttention> out;
+  out.reserve(static_cast<std::size_t>(alpha.rows()));
+  for (std::int64_t i = 0; i < alpha.rows(); ++i) {
+    NodeAttention na;
+    na.node = static_cast<int>(i);
+    const auto& node = pg.nodes[static_cast<std::size_t>(i)];
+    std::ostringstream oss;
+    oss << graphgen::to_string(node.key);
+    if (node.block > 0) {
+      oss << " (loop "
+          << kernel.loops[static_cast<std::size_t>(node.block - 1)].name
+          << ")";
+    }
+    na.description = oss.str();
+    na.type = node.type;
+    na.score = alpha.at(i, 0);
+    out.push_back(std::move(na));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodeAttention& a, const NodeAttention& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+double pragma_attention_share(const std::vector<NodeAttention>& scores) {
+  double pragma = 0.0, total = 0.0;
+  for (const auto& s : scores) {
+    total += s.score;
+    if (s.type == graphgen::NodeType::kPragma) pragma += s.score;
+  }
+  return total > 0 ? pragma / total : 0.0;
+}
+
+}  // namespace gnndse::analysis

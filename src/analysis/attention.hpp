@@ -1,0 +1,34 @@
+// Node-attention inspection (Fig 5): run the full model on one design and
+// report which nodes the graph-level pooling attends to. The paper's
+// qualitative finding: pragma nodes rank among the most important, with
+// loop trip counts (icmp + the i32 bound feeding it) modulating them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hlssim/config.hpp"
+#include "kir/kernel.hpp"
+#include "model/dataset.hpp"
+#include "model/predictive_model.hpp"
+
+namespace gnndse::analysis {
+
+struct NodeAttention {
+  int node = -1;
+  std::string description;  // "PARALLEL (block 3)", "icmp (block 2)", ...
+  graphgen::NodeType type = graphgen::NodeType::kInstruction;
+  float score = 0.0f;
+};
+
+/// Runs one forward pass of an M7 model on (kernel, config) and returns
+/// all nodes sorted by attention score, highest first.
+std::vector<NodeAttention> attention_scores(model::PredictiveModel& m7,
+                                            model::SampleFactory& factory,
+                                            const kir::Kernel& kernel,
+                                            const hlssim::DesignConfig& cfg);
+
+/// Fraction of total attention mass landing on pragma nodes.
+double pragma_attention_share(const std::vector<NodeAttention>& scores);
+
+}  // namespace gnndse::analysis

@@ -1,0 +1,37 @@
+#include "analysis/pareto.hpp"
+
+namespace gnndse::analysis {
+
+std::vector<double> objective_vector(const hlssim::HlsResult& r) {
+  return {r.cycles, r.util_dsp, r.util_bram, r.util_lut, r.util_ff};
+}
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<db::DataPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].result.valid) continue;
+    const auto oi = objective_vector(points[i].result);
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j || !points[j].result.valid) continue;
+      if (dominates(objective_vector(points[j].result), oi)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace gnndse::analysis

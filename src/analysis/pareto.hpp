@@ -1,0 +1,21 @@
+// Pareto-front utilities: GNN-DSE's Problem 2 asks for Pareto-optimal
+// designs over latency and resource use (§1, §4.4).
+#pragma once
+
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace gnndse::analysis {
+
+/// Objective vector extracted from a design point: cycles plus the four
+/// utilizations, all to be minimized.
+std::vector<double> objective_vector(const hlssim::HlsResult& r);
+
+/// True when a dominates b (<= everywhere, < somewhere).
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the non-dominated valid points among `points`.
+std::vector<std::size_t> pareto_front(const std::vector<db::DataPoint>& points);
+
+}  // namespace gnndse::analysis

@@ -1,0 +1,184 @@
+#include "analysis/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace gnndse::analysis {
+
+using tensor::Tensor;
+
+namespace {
+
+/// Row-wise conditional probabilities with per-point bandwidth found by
+/// binary search so the row entropy matches log(perplexity).
+std::vector<double> conditional_p(const std::vector<double>& d2_row,
+                                  std::size_t self, double perplexity) {
+  const std::size_t n = d2_row.size();
+  double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> p(n, 0.0);
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      p[j] = (j == self) ? 0.0 : std::exp(-beta * d2_row[j]);
+      sum += p[j];
+    }
+    if (sum <= 0) sum = 1e-12;
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (p[j] <= 0) continue;
+      const double pj = p[j] / sum;
+      entropy -= pj * std::log(pj);
+    }
+    for (std::size_t j = 0; j < n; ++j) p[j] /= sum;
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0) {  // entropy too high -> increase beta
+      beta_lo = beta;
+      beta = (beta_hi > 1e11) ? beta * 2 : (beta + beta_hi) / 2;
+    } else {
+      beta_hi = beta;
+      beta = (beta + beta_lo) / 2;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Tensor tsne(const Tensor& x, const TsneOptions& opts) {
+  const std::int64_t n = x.rows();
+  const std::int64_t d = x.cols();
+  if (n < 3) {
+    Tensor y({n, 2});
+    return y;
+  }
+
+  // Pairwise squared Euclidean distances.
+  std::vector<std::vector<double>> d2(static_cast<std::size_t>(n),
+                                      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        const double diff = x.at(i, c) - x.at(j, c);
+        acc += diff * diff;
+      }
+      d2[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = acc;
+      d2[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = acc;
+    }
+
+  // Symmetric joint probabilities.
+  const double perplexity =
+      std::min(opts.perplexity, static_cast<double>(n - 1) / 3.0);
+  std::vector<std::vector<double>> p(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    p[static_cast<std::size_t>(i)] = conditional_p(
+        d2[static_cast<std::size_t>(i)], static_cast<std::size_t>(i),
+        perplexity);
+  std::vector<std::vector<double>> pij(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  double psum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double v = (p[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +
+                        p[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)]) /
+                       (2.0 * static_cast<double>(n));
+      pij[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = v;
+      psum += v;
+    }
+  for (auto& row : pij)
+    for (auto& v : row) v = std::max(v / psum, 1e-12);
+
+  // Gradient descent on the 2-D embedding.
+  util::Rng rng(opts.seed);
+  Tensor y({n, 2});
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    y.at(i) = static_cast<float>(rng.normal(0.0, 1e-2));
+  Tensor velocity({n, 2});
+
+  std::vector<std::vector<double>> q(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (int iter = 0; iter < opts.iterations; ++iter) {
+    const double exaggeration =
+        iter < opts.exaggeration_iters ? opts.early_exaggeration : 1.0;
+    // Student-t affinities.
+    double qsum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const double dy0 = y.at(i, 0) - y.at(j, 0);
+        const double dy1 = y.at(i, 1) - y.at(j, 1);
+        const double v = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        q[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = v;
+        q[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = v;
+        qsum += 2.0 * v;
+      }
+    if (qsum <= 0) qsum = 1e-12;
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      double g0 = 0.0, g1 = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double qv =
+            q[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        const double mult =
+            (exaggeration *
+                 pij[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] -
+             qv / qsum) *
+            qv;
+        g0 += mult * (y.at(i, 0) - y.at(j, 0));
+        g1 += mult * (y.at(i, 1) - y.at(j, 1));
+      }
+      velocity.at(i, 0) = static_cast<float>(
+          opts.momentum * velocity.at(i, 0) - opts.learning_rate * 4.0 * g0);
+      velocity.at(i, 1) = static_cast<float>(
+          opts.momentum * velocity.at(i, 1) - opts.learning_rate * 4.0 * g1);
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      y.at(i, 0) += velocity.at(i, 0);
+      y.at(i, 1) += velocity.at(i, 1);
+    }
+  }
+  return y;
+}
+
+double neighborhood_label_spread(const Tensor& y2d,
+                                 const std::vector<float>& labels, int k) {
+  const std::int64_t n = y2d.rows();
+  if (static_cast<std::size_t>(n) != labels.size() || n < k + 1) return 0.0;
+  float lab_min = labels[0], lab_max = labels[0];
+  for (float l : labels) {
+    lab_min = std::min(lab_min, l);
+    lab_max = std::max(lab_max, l);
+  }
+  const double spread = std::max(1e-9f, lab_max - lab_min);
+
+  double total = 0.0;
+  std::vector<std::pair<double, std::int64_t>> dist(
+      static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double d0 = y2d.at(i, 0) - y2d.at(j, 0);
+      const double d1 = y2d.at(i, 1) - y2d.at(j, 1);
+      dist[static_cast<std::size_t>(j)] = {d0 * d0 + d1 * d1, j};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + k + 1, dist.end());
+    double acc = 0.0;
+    int counted = 0;
+    for (int t = 0; t <= k && counted < k; ++t) {
+      const std::int64_t j = dist[static_cast<std::size_t>(t)].second;
+      if (j == i) continue;
+      acc += std::abs(labels[static_cast<std::size_t>(j)] -
+                      labels[static_cast<std::size_t>(i)]);
+      ++counted;
+    }
+    total += acc / std::max(1, counted);
+  }
+  return total / static_cast<double>(n) / spread;
+}
+
+}  // namespace gnndse::analysis

@@ -1,0 +1,34 @@
+// Exact t-SNE (van der Maaten & Hinton, 2008) for the embedding
+// visualization of Fig 6: 2-D projection of graph-level embeddings, with
+// nearby points modeling similar designs.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace gnndse::analysis {
+
+struct TsneOptions {
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 100;
+  std::uint64_t seed = 1;
+};
+
+/// x: [N, D] high-dimensional points; returns [N, 2].
+tensor::Tensor tsne(const tensor::Tensor& x, const TsneOptions& opts = {});
+
+/// Quality proxy for tests/benches: mean over points of the fraction of
+/// k-nearest neighbors (in the given scalar labels, e.g. latency) that are
+/// also k-nearest in the 2-D embedding... simplified: average absolute
+/// label difference of each point's k nearest 2-D neighbors, normalized by
+/// the global label spread. Lower = better clustering by label.
+double neighborhood_label_spread(const tensor::Tensor& y2d,
+                                 const std::vector<float>& labels, int k = 10);
+
+}  // namespace gnndse::analysis

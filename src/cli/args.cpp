@@ -1,0 +1,39 @@
+#include "cli/args.hpp"
+
+#include <cstdlib>
+
+namespace gnndse::cli {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[key] = argv[++i];
+      } else {
+        options_[key] = "1";  // boolean flag
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+}  // namespace gnndse::cli

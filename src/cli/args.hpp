@@ -1,0 +1,27 @@
+// Minimal argument parsing for the gnndse CLI: positional arguments plus
+// --key value / --flag options.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gnndse::cli {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const { return options_.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace gnndse::cli

@@ -1,0 +1,223 @@
+// gnndse — command-line front end to the GNN-DSE reproduction.
+//
+//   gnndse list                               kernels + design-space stats
+//   gnndse eval <kernel> [--config KEY]       evaluate one design with HLS
+//   gnndse graph <kernel> [--config KEY] [--out g.dot]
+//   gnndse gen-db [--out db.csv] [--budget N] [--extension]
+//   gnndse train [--db db.csv] [--epochs N] [--out PREFIX]
+//   gnndse dse <kernel> [--db db.csv] [--weights PREFIX] [--time SECONDS]
+//   gnndse autodse <kernel> [--budget-hours H]
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/pareto.hpp"
+#include "cli/args.hpp"
+#include "db/explorer.hpp"
+#include "dse/dse.hpp"
+#include "dse/pipeline.hpp"
+#include "graphgen/dot_export.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/kernels_extension.hpp"
+#include "util/table.hpp"
+
+using namespace gnndse;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gnndse <list|eval|graph|gen-db|train|dse|autodse> "
+               "[args]\n  see the header of src/cli/main.cpp\n");
+  return 2;
+}
+
+std::vector<kir::Kernel> training_set(bool with_extension) {
+  auto ks = kernels::make_training_kernels();
+  if (with_extension)
+    for (auto& k : kernels::make_extension_kernels()) ks.push_back(k);
+  return ks;
+}
+
+int cmd_list() {
+  util::Table t{"Kernels"};
+  t.header({"Kernel", "Set", "#pragmas", "#configs (pruned)", "Loops",
+            "Stmts"});
+  auto add = [&t](const std::string& name, const char* set) {
+    kir::Kernel k = kernels::make_kernel(name);
+    dspace::DesignSpace space(k);
+    t.row({name, set, util::Table::fmt_int(k.num_pragma_sites()),
+           util::Table::fmt_commas(static_cast<long long>(space.pruned_size())),
+           util::Table::fmt_int(static_cast<long long>(k.loops.size())),
+           util::Table::fmt_int(static_cast<long long>(k.stmts.size()))});
+  };
+  for (const auto& n : kernels::training_kernel_names()) add(n, "training");
+  for (const auto& n : kernels::unseen_kernel_names()) add(n, "unseen");
+  for (const auto& n : kernels::extension_kernel_names()) add(n, "extension");
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_eval(const cli::Args& args) {
+  if (args.positional().size() < 2) return usage();
+  kir::Kernel k = kernels::make_kernel(args.positional()[1]);
+  hlssim::DesignConfig cfg =
+      args.has("config") ? hlssim::parse_config_key(args.get("config", ""))
+                         : hlssim::DesignConfig::neutral(k);
+  if (cfg.loops.size() != k.loops.size()) {
+    std::fprintf(stderr, "config has %zu loops, kernel has %zu\n",
+                 cfg.loops.size(), k.loops.size());
+    return 1;
+  }
+  hlssim::MerlinHls hls;
+  auto r = hls.evaluate(k, cfg);
+  std::printf("kernel:  %s\nconfig:  %s\n", k.name.c_str(), cfg.key().c_str());
+  if (!r.valid) {
+    std::printf("INVALID: %s (synthesis clock: %.0fs)\n",
+                r.invalid_reason.c_str(), r.synth_seconds);
+    return 0;
+  }
+  std::printf(
+      "cycles:  %.0f\nDSP:     %ld (%.1f%%)\nBRAM:    %ld (%.1f%%)\n"
+      "LUT:     %ld (%.1f%%)\nFF:      %ld (%.1f%%)\nsynth:   %.0fs "
+      "(simulated)\n",
+      r.cycles, r.dsp, 100 * r.util_dsp, r.bram, 100 * r.util_bram, r.lut,
+      100 * r.util_lut, r.ff, 100 * r.util_ff, r.synth_seconds);
+  return 0;
+}
+
+int cmd_graph(const cli::Args& args) {
+  if (args.positional().size() < 2) return usage();
+  kir::Kernel k = kernels::make_kernel(args.positional()[1]);
+  dspace::DesignSpace space(k);
+  graphgen::ProgramGraph g = graphgen::build_graph(k, space);
+  hlssim::DesignConfig cfg =
+      args.has("config") ? hlssim::parse_config_key(args.get("config", ""))
+                         : hlssim::DesignConfig::neutral(k);
+  graphgen::DotOptions dopts;
+  dopts.space = &space;
+  dopts.config = &cfg;
+  const std::string out = args.get("out", k.name + ".dot");
+  graphgen::write_dot(g, out, dopts);
+  std::printf("%s: %lld nodes, %lld edges -> %s\n", k.name.c_str(),
+              static_cast<long long>(g.num_nodes()),
+              static_cast<long long>(g.num_edges()), out.c_str());
+  return 0;
+}
+
+int cmd_gen_db(const cli::Args& args) {
+  hlssim::MerlinHls hls;
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  auto kernels = training_set(args.has("extension"));
+  const int budget = args.get_int("budget", 0);
+  db::Database db =
+      budget > 0 ? db::generate_initial_database(
+                       kernels, hls, rng,
+                       [budget](const std::string&) { return budget; })
+                 : db::generate_initial_database(kernels, hls, rng);
+  const std::string out = args.get("out", "gnndse_db.csv");
+  db.save_csv(out);
+  auto c = db.counts_total();
+  std::printf("database: %zu points (%zu valid) -> %s\n", c.total, c.valid,
+              out.c_str());
+  return 0;
+}
+
+int cmd_train(const cli::Args& args) {
+  hlssim::MerlinHls hls;
+  auto kernels = training_set(args.has("extension"));
+  db::Database db;
+  if (args.has("db")) {
+    db = db::Database::load_csv(args.get("db", ""));
+  } else {
+    util::Rng rng(42);
+    db = db::generate_initial_database(kernels, hls, rng);
+  }
+  model::SampleFactory factory;
+  dse::PipelineOptions po;
+  po.main_epochs = args.get_int("epochs", 30);
+  po.bram_epochs = std::max(2, po.main_epochs / 2);
+  po.classifier_epochs = std::max(2, po.main_epochs / 2);
+  po.hidden = args.get_int("hidden", 64);
+  po.verbose = args.has("verbose");
+  const std::string prefix = args.get("out", "gnndse_bundle");
+  dse::TrainedModels models(db, kernels, factory, po, prefix);
+  std::printf("trained bundle saved as %s.{main,bram,cls}.bin "
+              "(norm factor %.0f)\n",
+              prefix.c_str(), models.normalizer().norm_factor());
+  return 0;
+}
+
+int cmd_dse(const cli::Args& args) {
+  if (args.positional().size() < 2) return usage();
+  kir::Kernel target = kernels::make_kernel(args.positional()[1]);
+  hlssim::MerlinHls hls;
+  auto kernels = training_set(args.has("extension"));
+  db::Database db;
+  if (args.has("db")) {
+    db = db::Database::load_csv(args.get("db", ""));
+  } else {
+    util::Rng rng(42);
+    db = db::generate_initial_database(kernels, hls, rng);
+  }
+  model::SampleFactory factory;
+  dse::PipelineOptions po;
+  po.main_epochs = args.get_int("epochs", 30);
+  po.bram_epochs = std::max(2, po.main_epochs / 2);
+  po.classifier_epochs = std::max(2, po.main_epochs / 2);
+  dse::TrainedModels models(db, kernels, factory, po,
+                            args.get("weights", ""));
+  dse::ModelDse model_dse(models.bundle(), models.normalizer(), factory);
+  dse::DseOptions dopts;
+  dopts.time_limit_seconds = args.get_double("time", 60.0);
+  dopts.top_m = args.get_int("top", 10);
+  util::Rng rng(13);
+  dse::DseResult r = model_dse.run(target, dopts, rng);
+  auto ev = model_dse.evaluate_top(target, r, hls);
+  std::printf("explored %llu configs in %.1fs; HLS check %.0fs (simulated)\n",
+              static_cast<unsigned long long>(r.num_explored),
+              r.search_seconds, ev.hls_seconds);
+  if (!ev.best) {
+    std::printf("no valid design found in the top candidates\n");
+    return 1;
+  }
+  std::printf("best design: %s\n  %.0f cycles, util dsp/bram/lut/ff = "
+              "%.2f/%.2f/%.2f/%.2f\n",
+              ev.best->config.key().c_str(), ev.best->result.cycles,
+              ev.best->result.util_dsp, ev.best->result.util_bram,
+              ev.best->result.util_lut, ev.best->result.util_ff);
+  return 0;
+}
+
+int cmd_autodse(const cli::Args& args) {
+  if (args.positional().size() < 2) return usage();
+  kir::Kernel k = kernels::make_kernel(args.positional()[1]);
+  hlssim::MerlinHls hls;
+  const double budget = args.get_double("budget-hours", 21.0) * 3600.0;
+  auto out = dse::run_autodse_baseline(k, hls, budget);
+  std::printf("AutoDSE baseline on %s: %d evals, %.1f simulated hours\n"
+              "best design: %s\n  %.0f cycles\n",
+              k.name.c_str(), out.evals, out.simulated_seconds / 3600.0,
+              out.best.key().c_str(), out.best_cycles);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string& cmd = args.positional()[0];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "graph") return cmd_graph(args);
+    if (cmd == "gen-db") return cmd_gen_db(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "dse") return cmd_dse(args);
+    if (cmd == "autodse") return cmd_autodse(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gnndse %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,121 @@
+#include "db/database.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnndse::db {
+
+bool fits(const hlssim::HlsResult& r, double threshold) {
+  return r.valid && r.util_dsp < threshold && r.util_bram < threshold &&
+         r.util_lut < threshold && r.util_ff < threshold;
+}
+
+std::string Database::make_key(const std::string& kernel,
+                               const hlssim::DesignConfig& cfg) {
+  return kernel + "|" + cfg.key();
+}
+
+bool Database::add(DataPoint point) {
+  std::string key = make_key(point.kernel, point.config);
+  if (!keys_.insert(std::move(key)).second) return false;
+  points_.push_back(std::move(point));
+  return true;
+}
+
+bool Database::contains(const std::string& kernel,
+                        const hlssim::DesignConfig& cfg) const {
+  return keys_.count(make_key(kernel, cfg)) > 0;
+}
+
+KernelCounts Database::counts(const std::string& kernel) const {
+  KernelCounts c;
+  for (const auto& p : points_) {
+    if (p.kernel != kernel) continue;
+    ++c.total;
+    if (p.result.valid) ++c.valid;
+  }
+  return c;
+}
+
+KernelCounts Database::counts_total() const {
+  KernelCounts c;
+  for (const auto& p : points_) {
+    ++c.total;
+    if (p.result.valid) ++c.valid;
+  }
+  return c;
+}
+
+std::vector<std::size_t> Database::kernel_points(
+    const std::string& kernel) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    if (points_[i].kernel == kernel) out.push_back(i);
+  return out;
+}
+
+std::optional<DataPoint> Database::best_valid(const std::string& kernel,
+                                              double util_threshold) const {
+  std::optional<DataPoint> best;
+  for (const auto& p : points_) {
+    if (p.kernel != kernel || !fits(p.result, util_threshold)) continue;
+    if (!best || p.result.cycles < best->result.cycles) best = p;
+  }
+  return best;
+}
+
+void Database::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Database::save_csv: cannot open " + path);
+  out << "kernel,config,valid,reason,cycles,dsp,bram,lut,ff,synth_seconds\n";
+  for (const auto& p : points_) {
+    out << p.kernel << ',' << p.config.key() << ',' << (p.result.valid ? 1 : 0)
+        << ',' << '"' << p.result.invalid_reason << '"' << ','
+        << p.result.cycles << ',' << p.result.dsp << ',' << p.result.bram
+        << ',' << p.result.lut << ',' << p.result.ff << ','
+        << p.result.synth_seconds << '\n';
+  }
+}
+
+Database Database::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Database::load_csv: cannot open " + path);
+  Database db;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream iss(line);
+    DataPoint p;
+    std::string field;
+    std::getline(iss, p.kernel, ',');
+    std::getline(iss, field, ',');
+    p.config = hlssim::parse_config_key(field);
+    std::getline(iss, field, ',');
+    p.result.valid = field == "1";
+    std::getline(iss, field, ',');
+    if (field.size() >= 2 && field.front() == '"')
+      p.result.invalid_reason = field.substr(1, field.size() - 2);
+    auto next_double = [&iss, &field]() {
+      std::getline(iss, field, ',');
+      return std::stod(field);
+    };
+    p.result.cycles = next_double();
+    p.result.dsp = static_cast<long>(next_double());
+    p.result.bram = static_cast<long>(next_double());
+    p.result.lut = static_cast<long>(next_double());
+    p.result.ff = static_cast<long>(next_double());
+    p.result.synth_seconds = next_double();
+    // Utilizations are derived; recompute with the default device.
+    hlssim::FpgaResources dev;
+    p.result.util_dsp = static_cast<double>(p.result.dsp) / dev.dsp;
+    p.result.util_bram = static_cast<double>(p.result.bram) / dev.bram18;
+    p.result.util_lut = static_cast<double>(p.result.lut) / dev.lut;
+    p.result.util_ff = static_cast<double>(p.result.ff) / dev.ff;
+    db.add(std::move(p));
+  }
+  return db;
+}
+
+}  // namespace gnndse::db

@@ -1,0 +1,67 @@
+// Training database (paper §4.1, Fig 2): evaluated design points collected
+// from several explorers across applications, stored in a shared space.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hlssim/config.hpp"
+#include "hlssim/hls_sim.hpp"
+
+namespace gnndse::db {
+
+struct DataPoint {
+  std::string kernel;
+  hlssim::DesignConfig config;
+  hlssim::HlsResult result;
+};
+
+/// Per-kernel tallies for Table 1.
+struct KernelCounts {
+  std::size_t total = 0;
+  std::size_t valid = 0;
+};
+
+class Database {
+ public:
+  /// Adds a point unless the (kernel, config) pair is already present.
+  /// Returns true when inserted.
+  bool add(DataPoint point);
+
+  bool contains(const std::string& kernel,
+                const hlssim::DesignConfig& cfg) const;
+
+  const std::vector<DataPoint>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+
+  KernelCounts counts(const std::string& kernel) const;
+  KernelCounts counts_total() const;
+
+  /// Points of one kernel (indices into points()).
+  std::vector<std::size_t> kernel_points(const std::string& kernel) const;
+
+  /// Best (lowest-cycle) valid design of a kernel that fits under the
+  /// utilization threshold; nullopt when none qualifies.
+  std::optional<DataPoint> best_valid(const std::string& kernel,
+                                      double util_threshold = 0.8) const;
+
+  /// CSV round trip (kernel, config key, validity, objectives).
+  void save_csv(const std::string& path) const;
+  static Database load_csv(const std::string& path);
+
+ private:
+  static std::string make_key(const std::string& kernel,
+                              const hlssim::DesignConfig& cfg);
+
+  std::vector<DataPoint> points_;
+  std::unordered_set<std::string> keys_;
+};
+
+/// True when a result is valid and all utilizations are under `threshold`
+/// (the DSE feasibility test of eq. 7).
+bool fits(const hlssim::HlsResult& r, double threshold = 0.8);
+
+}  // namespace gnndse::db

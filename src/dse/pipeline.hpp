@@ -1,0 +1,71 @@
+// The full GNN-DSE pipeline (Fig 1a): train the three predictive models on
+// the shared database, run model-driven DSE per kernel, evaluate the top
+// designs with the HLS substrate, and (optionally) feed them back into the
+// database for the next round (§4.4, Fig 7).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dse/dse.hpp"
+
+namespace gnndse::dse {
+
+struct PipelineOptions {
+  int main_epochs = 30;
+  int bram_epochs = 15;
+  int classifier_epochs = 15;
+  int batch_size = 32;
+  float lr = 1e-3f;
+  /// The validity classifier needs a hotter optimizer to escape the
+  /// majority-class basin on imbalanced databases.
+  float cls_lr = 3e-3f;
+  std::int64_t hidden = 64;
+  int gnn_layers = 6;
+  model::ModelKind kind = model::ModelKind::kM7Full;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// Owns the three trained models plus their trainers and normalizer.
+/// When `cache_prefix` is non-empty and <prefix>.{main,bram,cls}.bin exist,
+/// weights are loaded instead of retrained (and saved there after a fresh
+/// training run) — bench binaries share one trained bundle this way.
+class TrainedModels {
+ public:
+  TrainedModels(const db::Database& database,
+                const std::vector<kir::Kernel>& kernels,
+                model::SampleFactory& factory, const PipelineOptions& opts,
+                const std::string& cache_prefix = "");
+
+  ModelBundle bundle();
+  const model::Normalizer& normalizer() const { return norm_; }
+  model::PredictiveModel& main_model() { return *main_model_; }
+  model::Trainer& main_trainer() { return *main_trainer_; }
+
+ private:
+  model::Normalizer norm_;
+  std::unique_ptr<model::PredictiveModel> main_model_, bram_model_, cls_model_;
+  std::unique_ptr<model::Trainer> main_trainer_, bram_trainer_, cls_trainer_;
+};
+
+/// One Fig 7 data series: per-kernel speedup over the best design in the
+/// initial database, for each DSE round.
+struct RoundsOutcome {
+  /// speedups[round][kernel] = best_initial_cycles / best_after_round.
+  std::vector<std::map<std::string, double>> speedups;
+  std::vector<double> average;  // per round, geometric-mean-free average
+  db::Database final_db;
+};
+
+/// Runs `rounds` rounds of train -> DSE -> HLS-evaluate-top-M -> augment DB
+/// (§4.4) over the given kernels, starting from `initial_db`.
+RoundsOutcome run_dse_rounds(const db::Database& initial_db,
+                             const std::vector<kir::Kernel>& kernels,
+                             const hlssim::MerlinHls& hls, int rounds,
+                             const PipelineOptions& popts,
+                             const DseOptions& dopts, util::Rng& rng);
+
+}  // namespace gnndse::dse

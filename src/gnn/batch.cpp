@@ -1,0 +1,79 @@
+#include "gnn/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gnndse::gnn {
+
+GraphBatch make_batch(const std::vector<const GraphData*>& graphs) {
+  if (graphs.empty()) throw std::invalid_argument("make_batch: empty batch");
+  GraphBatch b;
+  std::int64_t n_total = 0, e_total = 0;
+  const std::int64_t fn = graphs[0]->x.cols();
+  const std::int64_t fe = graphs[0]->e.cols();
+  for (const GraphData* g : graphs) {
+    if (g->x.cols() != fn || g->e.cols() != fe)
+      throw std::invalid_argument("make_batch: feature width mismatch");
+    n_total += g->x.rows();
+    e_total += g->e.rows();
+  }
+
+  b.x = tensor::Tensor({n_total, fn});
+  b.e = tensor::Tensor({e_total, fe});
+  b.src.reserve(static_cast<std::size_t>(e_total));
+  b.dst.reserve(static_cast<std::size_t>(e_total));
+  b.node_graph.resize(static_cast<std::size_t>(n_total));
+  b.num_nodes = n_total;
+  b.num_graphs = static_cast<std::int64_t>(graphs.size());
+  b.node_offset.assign(1, 0);
+
+  std::int64_t n_off = 0, e_off = 0;
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const GraphData& g = *graphs[gi];
+    const std::int64_t n = g.x.rows(), e = g.e.rows();
+    std::copy_n(g.x.data(), n * fn, b.x.data() + n_off * fn);
+    std::copy_n(g.e.data(), e * fe, b.e.data() + e_off * fe);
+    for (std::int64_t i = 0; i < n; ++i)
+      b.node_graph[static_cast<std::size_t>(n_off + i)] =
+          static_cast<std::int32_t>(gi);
+    for (std::size_t k = 0; k < g.src.size(); ++k) {
+      b.src.push_back(static_cast<std::int32_t>(g.src[k] + n_off));
+      b.dst.push_back(static_cast<std::int32_t>(g.dst[k] + n_off));
+    }
+    n_off += n;
+    e_off += e;
+    b.node_offset.push_back(n_off);
+  }
+
+  // Per-graph aux rows (pragma-only features for the M1 baseline).
+  if (graphs[0]->aux.numel() > 0) {
+    const std::int64_t fa = graphs[0]->aux.numel();
+    b.aux = tensor::Tensor({b.num_graphs, fa});
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      if (graphs[gi]->aux.numel() != fa)
+        throw std::invalid_argument("make_batch: aux width mismatch");
+      std::copy_n(graphs[gi]->aux.data(), fa,
+                  b.aux.data() + static_cast<std::int64_t>(gi) * fa);
+    }
+  }
+
+  // Self-loop augmented lists and symmetric-normalized GCN coefficients.
+  b.src_sl = b.src;
+  b.dst_sl = b.dst;
+  for (std::int64_t i = 0; i < n_total; ++i) {
+    b.src_sl.push_back(static_cast<std::int32_t>(i));
+    b.dst_sl.push_back(static_cast<std::int32_t>(i));
+  }
+  std::vector<float> deg(static_cast<std::size_t>(n_total), 0.0f);
+  for (std::int32_t d : b.dst_sl) ++deg[static_cast<std::size_t>(d)];
+  b.gcn_coeff.resize(b.src_sl.size());
+  for (std::size_t k = 0; k < b.src_sl.size(); ++k) {
+    const float du = deg[static_cast<std::size_t>(b.src_sl[k])];
+    const float dv = deg[static_cast<std::size_t>(b.dst_sl[k])];
+    b.gcn_coeff[k] = 1.0f / std::sqrt(du * dv);
+  }
+  return b;
+}
+
+}  // namespace gnndse::gnn

@@ -1,0 +1,43 @@
+// Graph batching: disjoint union of program graphs so one forward pass
+// covers a whole minibatch (node features stacked, edge indices offset,
+// per-node graph ids for pooling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gnndse::gnn {
+
+/// One graph ready for the GNN: features + edge index. `aux` is an
+/// optional per-graph feature row (the pragma-only vector used by the M1
+/// baseline).
+struct GraphData {
+  tensor::Tensor x;  // [N, Fn]
+  tensor::Tensor e;  // [E, Fe]
+  std::vector<std::int32_t> src;
+  std::vector<std::int32_t> dst;
+  tensor::Tensor aux;  // [Fa] or empty
+};
+
+/// Disjoint union of a minibatch of graphs.
+struct GraphBatch {
+  tensor::Tensor x;  // [N_total, Fn]
+  tensor::Tensor e;  // [E_total, Fe]
+  std::vector<std::int32_t> src, dst;          // edges (no self loops)
+  std::vector<std::int32_t> src_sl, dst_sl;    // edges + one self loop per node
+  std::vector<std::int32_t> node_graph;        // node -> graph id
+  std::vector<float> gcn_coeff;                // per src_sl edge: 1/sqrt(d_u d_v)
+  tensor::Tensor aux;                          // [B, Fa] or empty
+  std::int64_t num_nodes = 0;
+  std::int64_t num_graphs = 0;
+
+  /// Node index ranges per graph (for mapping pooled rows back).
+  std::vector<std::int64_t> node_offset;  // size num_graphs + 1
+};
+
+/// Builds the batch. All graphs must share feature dimensions.
+GraphBatch make_batch(const std::vector<const GraphData*>& graphs);
+
+}  // namespace gnndse::gnn

@@ -1,0 +1,113 @@
+#include "gnn/conv.hpp"
+
+#include <cmath>
+
+#include "tensor/init.hpp"
+
+namespace gnndse::gnn {
+
+using tensor::Tape;
+using tensor::Tensor;
+using tensor::VarId;
+
+// ---------------------------------------------------------------------------
+// GCN.
+// ---------------------------------------------------------------------------
+
+GCNConv::GCNConv(std::int64_t in, std::int64_t out, util::Rng& rng)
+    : lin_(in, out, rng) {}
+
+VarId GCNConv::forward(Tape& t, VarId x, const GraphBatch& b) {
+  // Aggregate with fixed symmetric-normalized coefficients over the
+  // self-loop-augmented edge list, then transform.
+  VarId msg = t.gather_rows(x, b.src_sl);
+  Tensor coeff({static_cast<std::int64_t>(b.gcn_coeff.size()), 1},
+               std::vector<float>(b.gcn_coeff.begin(), b.gcn_coeff.end()));
+  VarId weighted = t.mul_colbcast(t.constant(std::move(coeff)), msg);
+  VarId agg = t.scatter_add_rows(weighted, b.dst_sl, b.num_nodes);
+  return lin_.forward(t, agg);
+}
+
+std::vector<tensor::Parameter*> GCNConv::params() { return lin_.params(); }
+
+// ---------------------------------------------------------------------------
+// GAT.
+// ---------------------------------------------------------------------------
+
+GATConv::GATConv(std::int64_t in, std::int64_t out, util::Rng& rng)
+    : lin_(in, out, rng, /*bias=*/false),
+      att_src_(tensor::xavier_uniform(out, 1, rng)),
+      att_dst_(tensor::xavier_uniform(out, 1, rng)),
+      bias_(Tensor({out})) {}
+
+VarId GATConv::forward(Tape& t, VarId x, const GraphBatch& b) {
+  VarId h = lin_.forward(t, x);  // [N, out]
+  VarId score_src = t.matmul(h, t.param(att_src_));  // [N, 1]
+  VarId score_dst = t.matmul(h, t.param(att_dst_));  // [N, 1]
+  VarId e_score =
+      t.add(t.gather_rows(score_src, b.src_sl), t.gather_rows(score_dst, b.dst_sl));
+  e_score = t.leaky_relu(e_score, 0.2f);
+  VarId alpha = t.segment_softmax(e_score, b.dst_sl, b.num_nodes);
+  VarId msg = t.mul_colbcast(alpha, t.gather_rows(h, b.src_sl));
+  VarId agg = t.scatter_add_rows(msg, b.dst_sl, b.num_nodes);
+  return t.add_rowvec(agg, t.param(bias_));
+}
+
+std::vector<tensor::Parameter*> GATConv::params() {
+  auto out = lin_.params();
+  out.push_back(&att_src_);
+  out.push_back(&att_dst_);
+  out.push_back(&bias_);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TransformerConv.
+// ---------------------------------------------------------------------------
+
+TransformerConv::TransformerConv(std::int64_t in, std::int64_t out,
+                                 std::int64_t edge_dim, util::Rng& rng,
+                                 bool gated_residual)
+    : wq_(in, out, rng),
+      wk_(in, out, rng),
+      wv_(in, out, rng),
+      we_k_(edge_dim, out, rng, /*bias=*/false),
+      we_v_(edge_dim, out, rng, /*bias=*/false),
+      skip_(in, out, rng),
+      gate_(3 * out, 1, rng),
+      out_dim_(out),
+      gated_residual_(gated_residual) {}
+
+VarId TransformerConv::forward(Tape& t, VarId x, const GraphBatch& b) {
+  VarId q = wq_.forward(t, x);
+  VarId k = wk_.forward(t, x);
+  VarId v = wv_.forward(t, x);
+  VarId e = t.constant(b.e);
+  VarId ek = we_k_.forward(t, e);
+  VarId ev = we_v_.forward(t, e);
+
+  VarId k_edge = t.add(t.gather_rows(k, b.src), ek);   // [E, D]
+  VarId q_edge = t.gather_rows(q, b.dst);              // [E, D]
+  VarId score = t.row_sum(t.mul(q_edge, k_edge));      // [E, 1]
+  score = t.scale(score, 1.0f / std::sqrt(static_cast<float>(out_dim_)));
+  VarId alpha = t.segment_softmax(score, b.dst, b.num_nodes);
+
+  VarId v_edge = t.add(t.gather_rows(v, b.src), ev);
+  VarId msg = t.mul_colbcast(alpha, v_edge);
+  VarId m = t.scatter_add_rows(msg, b.dst, b.num_nodes);  // [N, D]
+
+  VarId r = skip_.forward(t, x);
+  if (!gated_residual_) return t.add(r, m);  // ablation: plain skip
+  VarId beta = t.sigmoid(gate_.forward(t, t.concat_cols({r, m, t.sub(r, m)})));
+  // h' = beta * r + (1 - beta) * m  ==  m + beta * (r - m)
+  return t.add(m, t.mul_colbcast(beta, t.sub(r, m)));
+}
+
+std::vector<tensor::Parameter*> TransformerConv::params() {
+  std::vector<tensor::Parameter*> out;
+  for (Linear* l : {&wq_, &wk_, &wv_, &we_k_, &we_v_, &skip_, &gate_})
+    for (auto* p : l->params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace gnndse::gnn

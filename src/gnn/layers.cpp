@@ -1,0 +1,71 @@
+#include "gnn/layers.hpp"
+
+#include <stdexcept>
+
+#include "tensor/init.hpp"
+
+namespace gnndse::gnn {
+
+using tensor::Tape;
+using tensor::VarId;
+
+Linear::Linear(std::int64_t in, std::int64_t out, util::Rng& rng, bool bias)
+    : w_(tensor::xavier_uniform(in, out, rng)),
+      b_(tensor::Tensor({out})),
+      has_bias_(bias) {}
+
+VarId Linear::forward(Tape& t, VarId x) {
+  VarId y = t.matmul(x, t.param(w_));
+  if (has_bias_) y = t.add_rowvec(y, t.param(b_));
+  return y;
+}
+
+std::vector<tensor::Parameter*> Linear::params() {
+  if (has_bias_) return {&w_, &b_};
+  return {&w_};
+}
+
+VarId activate(Tape& t, VarId x, Activation a) {
+  switch (a) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return t.relu(x);
+    case Activation::kElu:
+      return t.elu(x);
+    case Activation::kLeakyRelu:
+      return t.leaky_relu(x);
+    case Activation::kSigmoid:
+      return t.sigmoid(x);
+    case Activation::kTanh:
+      return t.tanh(x);
+  }
+  throw std::logic_error("unknown activation");
+}
+
+Mlp::Mlp(const std::vector<std::int64_t>& dims, util::Rng& rng,
+         Activation hidden, Activation output)
+    : hidden_(hidden), output_(output) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need >= 2 dims");
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+}
+
+VarId Mlp::forward(Tape& t, VarId x) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i].forward(t, x);
+    const bool last = (i + 1 == layers_.size());
+    x = activate(t, x, last ? output_ : hidden_);
+  }
+  return x;
+}
+
+std::vector<tensor::Parameter*> Mlp::params() {
+  std::vector<tensor::Parameter*> out;
+  for (auto& l : layers_)
+    for (auto* p : l.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace gnndse::gnn

@@ -1,0 +1,59 @@
+// Dense building blocks: Linear and MLP modules over the autodiff tape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/adam.hpp"
+#include "tensor/tape.hpp"
+#include "util/rng.hpp"
+
+namespace gnndse::gnn {
+
+/// Every trainable module exposes its parameters for the optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual std::vector<tensor::Parameter*> params() = 0;
+};
+
+/// y = x W + b.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in, std::int64_t out, util::Rng& rng, bool bias = true);
+
+  tensor::VarId forward(tensor::Tape& t, tensor::VarId x);
+  std::vector<tensor::Parameter*> params() override;
+
+  std::int64_t in_features() const { return w_.value.dim(0); }
+  std::int64_t out_features() const { return w_.value.dim(1); }
+
+ private:
+  tensor::Parameter w_;
+  tensor::Parameter b_;
+  bool has_bias_;
+};
+
+enum class Activation { kNone, kRelu, kElu, kLeakyRelu, kSigmoid, kTanh };
+
+/// Multi-layer perceptron: Linear layers with a fixed hidden activation and
+/// an optional output activation (paper: 4 MLP prediction layers, §5.1).
+class Mlp : public Module {
+ public:
+  /// dims = {in, h1, ..., out}.
+  Mlp(const std::vector<std::int64_t>& dims, util::Rng& rng,
+      Activation hidden = Activation::kElu,
+      Activation output = Activation::kNone);
+
+  tensor::VarId forward(tensor::Tape& t, tensor::VarId x);
+  std::vector<tensor::Parameter*> params() override;
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_, output_;
+};
+
+/// Applies an activation on the tape.
+tensor::VarId activate(tensor::Tape& t, tensor::VarId x, Activation a);
+
+}  // namespace gnndse::gnn

@@ -1,0 +1,106 @@
+#include "graphgen/dot_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnndse::graphgen {
+
+namespace {
+
+const char* node_color(NodeType t) {
+  switch (t) {
+    case NodeType::kInstruction:
+      return "#4a90d9";  // blue
+    case NodeType::kVariable:
+    case NodeType::kConstant:
+      return "#d9534f";  // red
+    case NodeType::kPragma:
+      return "#9b59b6";  // purple
+  }
+  return "black";
+}
+
+const char* edge_color(FlowType f) {
+  switch (f) {
+    case FlowType::kControl:
+      return "#4a90d9";
+    case FlowType::kData:
+      return "#d9534f";
+    case FlowType::kCall:
+      return "#5cb85c";  // green
+    case FlowType::kPragma:
+      return "#9b59b6";
+  }
+  return "black";
+}
+
+std::string pragma_value(const DotOptions& opts, std::size_t site_idx) {
+  if (opts.space == nullptr || opts.config == nullptr) return "auto{...}";
+  const auto& site = opts.space->sites()[site_idx];
+  const auto& lc =
+      opts.config->loops[static_cast<std::size_t>(site.loop)];
+  switch (site.kind) {
+    case dspace::SiteKind::kPipeline:
+      return hlssim::to_string(lc.pipeline);
+    case dspace::SiteKind::kParallel:
+      return std::to_string(lc.parallel);
+    case dspace::SiteKind::kTile:
+      return std::to_string(lc.tile);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_dot(const ProgramGraph& g, const DotOptions& opts) {
+  std::ostringstream dot;
+  dot << "digraph \"" << g.kernel_name << "\" {\n"
+      << "  rankdir=TB;\n  node [style=filled, fontname=\"Helvetica\"];\n";
+
+  float max_att = 0.0f;
+  if (!opts.attention.empty())
+    max_att = *std::max_element(opts.attention.begin(), opts.attention.end());
+
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const GraphNode& n = g.nodes[i];
+    std::string label = to_string(n.key);
+    if (n.type == NodeType::kPragma) {
+      // Which site does this node belong to?
+      for (std::size_t s = 0; s < g.pragma_nodes.size(); ++s)
+        if (g.pragma_nodes[s] == static_cast<std::int32_t>(i))
+          label += "=" + pragma_value(opts, s);
+    }
+    const char* shape =
+        n.type == NodeType::kPragma
+            ? "box"
+            : (n.type == NodeType::kInstruction ? "ellipse" : "diamond");
+    dot << "  n" << i << " [label=\"" << label << "\", shape=" << shape
+        << ", fillcolor=\"" << node_color(n.type) << "\"";
+    if (!opts.attention.empty() && max_att > 0) {
+      const double w =
+          0.4 + 1.6 * std::sqrt(opts.attention[i] / max_att);
+      dot << ", width=" << w << ", height=" << w * 0.6 << ", fixedsize=true";
+    }
+    dot << "];\n";
+  }
+  for (const GraphEdge& e : g.edges) {
+    dot << "  n" << e.src << " -> n" << e.dst << " [color=\""
+        << edge_color(e.flow) << "\"";
+    if (e.position > 0) dot << ", label=\"" << e.position << "\"";
+    dot << "];\n";
+  }
+  dot << "}\n";
+  return dot.str();
+}
+
+void write_dot(const ProgramGraph& g, const std::string& path,
+               const DotOptions& opts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_dot: cannot open " + path);
+  out << to_dot(g, opts);
+}
+
+}  // namespace gnndse::graphgen

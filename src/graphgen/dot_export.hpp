@@ -1,0 +1,31 @@
+// Graphviz export of program graphs, following the paper's Fig 1(b) color
+// scheme: instruction nodes blue, variable/constant nodes red, pragma nodes
+// purple; control edges blue, data red, call green, pragma purple.
+// Optionally annotates pragma nodes with a design configuration's concrete
+// options, and scales node size by attention scores (Fig 5 style).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graphgen/program_graph.hpp"
+#include "hlssim/config.hpp"
+
+namespace gnndse::graphgen {
+
+struct DotOptions {
+  /// When set, pragma nodes display their concrete option values.
+  const dspace::DesignSpace* space = nullptr;
+  const hlssim::DesignConfig* config = nullptr;
+  /// Per-node attention scores (size = num_nodes); scales node diameter.
+  std::vector<float> attention;
+};
+
+/// Renders the graph as a Graphviz digraph.
+std::string to_dot(const ProgramGraph& g, const DotOptions& opts = {});
+
+/// Writes to_dot() output to a file; throws std::runtime_error on failure.
+void write_dot(const ProgramGraph& g, const std::string& path,
+               const DotOptions& opts = {});
+
+}  // namespace gnndse::graphgen

@@ -1,0 +1,101 @@
+#include "graphgen/json_export.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graphgen/featurize.hpp"
+
+namespace gnndse::graphgen {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+void append_matrix(std::ostringstream& os, const tensor::Tensor& t) {
+  os << '[';
+  for (std::int64_t r = 0; r < t.rows(); ++r) {
+    if (r) os << ',';
+    os << '[';
+    for (std::int64_t c = 0; c < t.cols(); ++c) {
+      if (c) os << ',';
+      os << t.at(r, c);
+    }
+    os << ']';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string to_json(const ProgramGraph& g, const JsonOptions& opts) {
+  std::ostringstream os;
+  os << "{\"kernel\":";
+  append_escaped(os, g.kernel_name);
+  os << ",\"num_nodes\":" << g.num_nodes()
+     << ",\"num_edges\":" << g.num_edges() << ",\"nodes\":[";
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const GraphNode& n = g.nodes[i];
+    if (i) os << ',';
+    os << "{\"id\":" << i << ",\"type\":" << static_cast<int>(n.type)
+       << ",\"key_text\":";
+    append_escaped(os, to_string(n.key));
+    os << ",\"block\":" << n.block << ",\"function\":" << n.function
+       << ",\"numeric\":" << n.numeric << '}';
+  }
+  os << "],\"edges\":[";
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    const GraphEdge& e = g.edges[i];
+    if (i) os << ',';
+    os << "{\"src\":" << e.src << ",\"dst\":" << e.dst
+       << ",\"flow\":" << static_cast<int>(e.flow)
+       << ",\"position\":" << e.position << '}';
+  }
+  os << "],\"pragma_nodes\":[";
+  for (std::size_t i = 0; i < g.pragma_nodes.size(); ++i) {
+    if (i) os << ',';
+    os << g.pragma_nodes[i];
+  }
+  os << ']';
+
+  if (opts.include_features) {
+    if (opts.space == nullptr || opts.config == nullptr)
+      throw std::invalid_argument(
+          "to_json: include_features requires space and config");
+    os << ",\"node_features\":";
+    append_matrix(os, node_features(g, *opts.space, *opts.config));
+    os << ",\"edge_features\":";
+    append_matrix(os, edge_features(g));
+    os << ",\"config\":";
+    append_escaped(os, opts.config->key());
+  }
+  os << '}';
+  return os.str();
+}
+
+void write_json(const ProgramGraph& g, const std::string& path,
+                const JsonOptions& opts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_json: cannot open " + path);
+  out << to_json(g, opts);
+}
+
+}  // namespace gnndse::graphgen

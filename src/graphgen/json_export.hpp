@@ -1,0 +1,31 @@
+// JSON serialization of program graphs (nodes, edges, pragma-site mapping,
+// and optionally the featurized matrices) so external tooling — Python
+// notebooks, other GNN frameworks — can consume the exact graphs this
+// repository trains on.
+#pragma once
+
+#include <string>
+
+#include "graphgen/program_graph.hpp"
+#include "hlssim/config.hpp"
+
+namespace gnndse::graphgen {
+
+struct JsonOptions {
+  /// Include the 124-d node features / 12-d edge features for this
+  /// configuration (requires `space`).
+  bool include_features = false;
+  const dspace::DesignSpace* space = nullptr;
+  const hlssim::DesignConfig* config = nullptr;
+};
+
+/// Renders the graph as a single JSON object:
+/// { "kernel": ..., "nodes": [...], "edges": [...], "pragma_nodes": [...],
+///   "node_features": [[...]]? , "edge_features": [[...]]? }
+std::string to_json(const ProgramGraph& g, const JsonOptions& opts = {});
+
+/// Writes to_json() to a file; throws std::runtime_error on failure.
+void write_json(const ProgramGraph& g, const std::string& path,
+                const JsonOptions& opts = {});
+
+}  // namespace gnndse::graphgen

@@ -1,0 +1,280 @@
+#include "graphgen/program_graph.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace gnndse::graphgen {
+
+using dspace::SiteKind;
+using kir::AccessKind;
+using kir::Kernel;
+using kir::Loop;
+using kir::Stmt;
+
+const char* to_string(KeyText k) {
+  switch (k) {
+    case KeyText::kExternal: return "[external]";
+    case KeyText::kFnEntry: return "fn_entry";
+    case KeyText::kPhi: return "phi";
+    case KeyText::kIcmp: return "icmp";
+    case KeyText::kAddIv: return "add";
+    case KeyText::kBr: return "br";
+    case KeyText::kLoad: return "load";
+    case KeyText::kLoadIndirect: return "load.gather";
+    case KeyText::kLoadStrided: return "load.strided";
+    case KeyText::kStore: return "store";
+    case KeyText::kFadd: return "fadd";
+    case KeyText::kFmul: return "fmul";
+    case KeyText::kFdiv: return "fdiv";
+    case KeyText::kCmp: return "cmp";
+    case KeyText::kLogic: return "logic";
+    case KeyText::kSpecial: return "special";
+    case KeyText::kArrayF32: return "f32*";
+    case KeyText::kArrayI8: return "i8*";
+    case KeyText::kArrayLocal: return "f32_local*";
+    case KeyText::kConstInt: return "i32";
+    case KeyText::kAccum: return "acc";
+    case KeyText::kState: return "state";
+    case KeyText::kPragmaPipeline: return "PIPELINE";
+    case KeyText::kPragmaParallel: return "PARALLEL";
+    case KeyText::kPragmaTile: return "TILE";
+    case KeyText::kNumKeyTexts: break;
+  }
+  return "?";
+}
+
+namespace {
+
+class Builder {
+ public:
+  Builder(const Kernel& k, const dspace::DesignSpace& space)
+      : k_(k), space_(space) {
+    g_.kernel_name = k.name;
+  }
+
+  ProgramGraph run() {
+    // Root and per-function entries with call edges (the call flow).
+    const std::int32_t root =
+        add_node(NodeType::kInstruction, KeyText::kExternal, 0, 0);
+    fn_entry_.resize(static_cast<std::size_t>(k_.num_functions));
+    for (int f = 0; f < k_.num_functions; ++f) {
+      fn_entry_[f] = add_node(NodeType::kInstruction, KeyText::kFnEntry, 0, f);
+      add_edge(root, fn_entry_[f], FlowType::kCall, f);
+    }
+
+    // Array variable nodes.
+    array_node_.resize(k_.arrays.size());
+    for (std::size_t a = 0; a < k_.arrays.size(); ++a) {
+      const auto& arr = k_.arrays[a];
+      KeyText key = !arr.off_chip          ? KeyText::kArrayLocal
+                    : (arr.elem_bits <= 8) ? KeyText::kArrayI8
+                                           : KeyText::kArrayF32;
+      array_node_[a] = add_node(NodeType::kVariable, key, 0, 0,
+                                std::log2(static_cast<float>(arr.num_elems)));
+    }
+
+    // Loops, in id order (parents first), then statements.
+    g_.loop_icmp_nodes.resize(k_.loops.size(), -1);
+    for (std::size_t l = 0; l < k_.loops.size(); ++l) build_loop(static_cast<int>(l));
+
+    // Chain control from each function entry to its top-level loops.
+    for (int top : k_.top_loops) {
+      const int f = k_.function_of_loop(top);
+      add_edge(fn_entry_[static_cast<std::size_t>(f)],
+               loop_header_[static_cast<std::size_t>(top)],
+               FlowType::kControl, 0);
+    }
+
+    // Pragma nodes, aligned with the design-space site order.
+    for (const auto& site : space_.sites()) {
+      KeyText key;
+      switch (site.kind) {
+        case SiteKind::kTile: key = KeyText::kPragmaTile; break;
+        case SiteKind::kPipeline: key = KeyText::kPragmaPipeline; break;
+        case SiteKind::kParallel:
+        default: key = KeyText::kPragmaParallel; break;
+      }
+      const Loop& loop = k_.loops[static_cast<std::size_t>(site.loop)];
+      const std::int32_t pn =
+          add_node(NodeType::kPragma, key, site.loop + 1,
+                   k_.function_of_loop(site.loop),
+                   std::log2(static_cast<float>(loop.trip_count)));
+      add_edge(pn, g_.loop_icmp_nodes[static_cast<std::size_t>(site.loop)],
+               FlowType::kPragma, static_cast<int>(site.kind));
+      g_.pragma_nodes.push_back(pn);
+    }
+    return std::move(g_);
+  }
+
+ private:
+  std::int32_t add_node(NodeType t, KeyText k, int block, int fn,
+                        float numeric = 0.0f) {
+    g_.nodes.push_back(GraphNode{t, k, block, fn, numeric});
+    return static_cast<std::int32_t>(g_.nodes.size() - 1);
+  }
+
+  void add_edge(std::int32_t src, std::int32_t dst, FlowType flow,
+                int position) {
+    g_.edges.push_back(GraphEdge{src, dst, flow, position});
+  }
+
+  void build_loop(int lid) {
+    if (loop_header_.count(static_cast<std::size_t>(lid))) return;
+    const Loop& loop = k_.loops[static_cast<std::size_t>(lid)];
+    const int block = lid + 1;
+    const int fn = k_.function_of_loop(lid);
+
+    // Loop skeleton: phi (iv) -> icmp -> body ... -> add -> br -> icmp.
+    const std::int32_t phi = add_node(NodeType::kInstruction, KeyText::kPhi,
+                                      block, fn);
+    const std::int32_t icmp = add_node(NodeType::kInstruction, KeyText::kIcmp,
+                                       block, fn);
+    const std::int32_t bound = add_node(
+        NodeType::kConstant, KeyText::kConstInt, block, fn,
+        std::log2(static_cast<float>(loop.trip_count)));
+    const std::int32_t inc = add_node(NodeType::kInstruction, KeyText::kAddIv,
+                                      block, fn);
+    const std::int32_t br = add_node(NodeType::kInstruction, KeyText::kBr,
+                                     block, fn);
+    add_edge(phi, icmp, FlowType::kData, 0);
+    add_edge(bound, icmp, FlowType::kData, 1);
+    add_edge(phi, inc, FlowType::kData, 0);
+    add_edge(inc, phi, FlowType::kData, 0);  // back-edge of the iv cycle
+    add_edge(icmp, br, FlowType::kControl, 0);
+    add_edge(br, icmp, FlowType::kControl, 1);  // loop back edge
+
+    loop_header_[static_cast<std::size_t>(lid)] = icmp;
+    g_.loop_icmp_nodes[static_cast<std::size_t>(lid)] = icmp;
+
+    // Control into the body: icmp -> child loop headers and statements are
+    // chained in program order; the last body element feeds `inc`.
+    std::int32_t prev = icmp;
+    int pos = 2;
+    for (int ch : loop.children) {
+      // Children are built before their statements are needed; loops are in
+      // id order with parents first, so build lazily here.
+      if (loop_header_.find(static_cast<std::size_t>(ch)) ==
+          loop_header_.end())
+        build_loop(ch);
+      add_edge(prev, loop_header_[static_cast<std::size_t>(ch)],
+               FlowType::kControl, pos++);
+      prev = loop_header_[static_cast<std::size_t>(ch)];
+    }
+    for (int sid : loop.stmts)
+      prev = build_stmt(k_.stmts[static_cast<std::size_t>(sid)], block, fn,
+                        prev, pos++);
+    add_edge(prev, inc, FlowType::kControl, 0);
+  }
+
+  std::int32_t build_stmt(const Stmt& s, int block, int fn, std::int32_t prev,
+                          int pos) {
+    // Loads feed the op chain; the op chain feeds stores. Data edges follow
+    // the value flow; a control edge chains the statement into the body.
+    std::vector<std::int32_t> loads;
+    std::vector<std::int32_t> stores;
+    for (const auto& acc : s.accesses) {
+      if (acc.is_write) continue;
+      KeyText key = KeyText::kLoad;
+      if (acc.kind == AccessKind::kIndirect) key = KeyText::kLoadIndirect;
+      if (acc.kind == AccessKind::kStrided) key = KeyText::kLoadStrided;
+      const std::int32_t ld = add_node(NodeType::kInstruction, key, block, fn);
+      add_edge(array_node_[static_cast<std::size_t>(acc.array)], ld,
+               FlowType::kData, 0);
+      loads.push_back(ld);
+    }
+
+    // One op node per nonzero op kind, with the count as numeric payload.
+    std::vector<std::int32_t> chain = loads;
+    auto add_op = [&](int count, KeyText key) {
+      if (count == 0) return;
+      const std::int32_t op = add_node(NodeType::kInstruction, key, block, fn,
+                                       static_cast<float>(count));
+      int p = 0;
+      for (std::int32_t in : chain) add_edge(in, op, FlowType::kData, p++);
+      chain.assign(1, op);
+    };
+    add_op(s.ops.muls, KeyText::kFmul);
+    add_op(s.ops.adds, KeyText::kFadd);
+    add_op(s.ops.divs, KeyText::kFdiv);
+    add_op(s.ops.cmps, KeyText::kCmp);
+    add_op(s.ops.logic, KeyText::kLogic);
+    add_op(s.ops.specials, KeyText::kSpecial);
+
+    // Recurrence variable: a 2-cycle between the chain tail and an
+    // accumulator/state variable node marks the loop-carried dependence.
+    if (s.dep_loop != -1 && !chain.empty()) {
+      const KeyText key =
+          s.dep_associative ? KeyText::kAccum : KeyText::kState;
+      const std::int32_t rec =
+          add_node(NodeType::kVariable, key, s.dep_loop + 1, fn,
+                   static_cast<float>(s.dep_latency));
+      add_edge(chain.back(), rec, FlowType::kData, 0);
+      add_edge(rec, chain.back(), FlowType::kData, 1);
+    }
+
+    std::int32_t last_instr = chain.empty() ? prev : chain.back();
+    for (const auto& acc : s.accesses) {
+      if (!acc.is_write) continue;
+      const std::int32_t st =
+          add_node(NodeType::kInstruction, KeyText::kStore, block, fn);
+      if (!chain.empty()) add_edge(chain.back(), st, FlowType::kData, 0);
+      add_edge(st, array_node_[static_cast<std::size_t>(acc.array)],
+               FlowType::kData, 0);
+      stores.push_back(st);
+      last_instr = st;
+    }
+
+    // Control chaining through the statement's first instruction.
+    const std::int32_t first =
+        !loads.empty() ? loads.front()
+                       : (!chain.empty() ? chain.front() : last_instr);
+    if (first != prev) add_edge(prev, first, FlowType::kControl, pos);
+    return last_instr;
+  }
+
+  const Kernel& k_;
+  const dspace::DesignSpace& space_;
+  ProgramGraph g_;
+  std::vector<std::int32_t> fn_entry_;
+  std::vector<std::int32_t> array_node_;
+  std::map<std::size_t, std::int32_t> loop_header_;
+};
+
+}  // namespace
+
+ProgramGraph build_graph(const Kernel& kernel,
+                         const dspace::DesignSpace& space) {
+  Builder b(kernel, space);
+  ProgramGraph g = b.run();
+  validate(g);
+  return g;
+}
+
+void validate(const ProgramGraph& g) {
+  const auto n = static_cast<std::int32_t>(g.nodes.size());
+  auto fail = [&g](const std::string& msg) {
+    throw std::logic_error("program graph '" + g.kernel_name + "': " + msg);
+  };
+  if (n == 0) fail("empty graph");
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  for (const auto& e : g.edges) {
+    if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n)
+      fail("edge endpoint out of range");
+    ++degree[static_cast<std::size_t>(e.src)];
+    ++degree[static_cast<std::size_t>(e.dst)];
+    if (e.flow == FlowType::kPragma &&
+        g.nodes[static_cast<std::size_t>(e.dst)].key != KeyText::kIcmp)
+      fail("pragma edge must target an icmp node");
+  }
+  for (std::int32_t i = 0; i < n; ++i)
+    if (degree[static_cast<std::size_t>(i)] == 0) fail("isolated node");
+  for (std::int32_t pn : g.pragma_nodes) {
+    if (pn < 0 || pn >= n) fail("pragma node index out of range");
+    if (g.nodes[static_cast<std::size_t>(pn)].type != NodeType::kPragma)
+      fail("pragma_nodes entry is not a pragma node");
+  }
+}
+
+}  // namespace gnndse::graphgen

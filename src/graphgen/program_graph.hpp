@@ -1,0 +1,112 @@
+// ProGraML-style program representation with pragma flow (paper §4.2).
+//
+// The kernel IR is lowered to a typed multigraph:
+//   node types: 0 instruction, 1 variable, 2 constant, 3 pragma
+//   edge flows: 0 control, 1 data, 2 call, 3 pragma
+// matching the paper's attribute scheme
+//   Node = {block, key_text, function, type}
+//   Edge = (src, dst, {flow, position})
+// Pragma nodes attach to the icmp instruction of their loop; their
+// `position` distinguishes tile (0), pipeline (1), parallel (2) exactly as
+// the paper's table specifies.
+//
+// The graph structure depends only on the kernel; a design configuration
+// changes nothing but the pragma-node payloads ("Pragma Fill" in Fig 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dspace/design_space.hpp"
+#include "kir/kernel.hpp"
+
+namespace gnndse::graphgen {
+
+enum class NodeType : int {
+  kInstruction = 0,
+  kVariable = 1,
+  kConstant = 2,
+  kPragma = 3
+};
+
+enum class FlowType : int { kControl = 0, kData = 1, kCall = 2, kPragma = 3 };
+
+/// key_text vocabulary (the paper's per-node keyword, e.g. "PIPELINE",
+/// "load", "i32*"). Enumerated so featurization is a one-hot.
+enum class KeyText : int {
+  kExternal = 0,
+  kFnEntry,
+  kPhi,       // induction variable
+  kIcmp,      // loop condition — pragma nodes attach here
+  kAddIv,     // induction increment
+  kBr,        // branch / back edge
+  kLoad,
+  kLoadIndirect,
+  kLoadStrided,
+  kStore,
+  kFadd,
+  kFmul,
+  kFdiv,
+  kCmp,
+  kLogic,
+  kSpecial,
+  kArrayF32,   // f32* interface array
+  kArrayI8,    // i8* interface array
+  kArrayLocal, // on-chip scratchpad
+  kConstInt,   // trip count / bound constant
+  kAccum,      // associative recurrence variable
+  kState,      // non-associative recurrence variable
+  kPragmaPipeline,
+  kPragmaParallel,
+  kPragmaTile,
+  kNumKeyTexts
+};
+
+const char* to_string(KeyText k);
+
+struct GraphNode {
+  NodeType type = NodeType::kInstruction;
+  KeyText key = KeyText::kExternal;
+  int block = 0;     // LLVM block id: loop id + 1, 0 = function entry
+  int function = 0;  // source function index
+  /// Generic numeric payload: log2(trip count) for kConstInt, op count for
+  /// op nodes, recurrence latency for kAccum/kState; 0 otherwise.
+  float numeric = 0.0f;
+};
+
+struct GraphEdge {
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  FlowType flow = FlowType::kControl;
+  int position = 0;
+};
+
+struct ProgramGraph {
+  std::string kernel_name;
+  std::vector<GraphNode> nodes;
+  std::vector<GraphEdge> edges;
+  /// Node index of the pragma node for each design-space site, aligned
+  /// with DesignSpace::sites() ordering.
+  std::vector<std::int32_t> pragma_nodes;
+  /// Node index of each loop's icmp instruction (for attention analysis).
+  std::vector<std::int32_t> loop_icmp_nodes;
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nodes.size());
+  }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(edges.size());
+  }
+};
+
+/// Lowers a kernel + its design space to the pragma-annotated program
+/// graph. Deterministic; structure is config-independent.
+ProgramGraph build_graph(const kir::Kernel& kernel,
+                         const dspace::DesignSpace& space);
+
+/// Structural sanity checks (indices in range, pragma nodes typed kPragma,
+/// every pragma edge pointing at an icmp, graph weakly connected).
+void validate(const ProgramGraph& g);
+
+}  // namespace gnndse::graphgen

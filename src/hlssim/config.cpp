@@ -1,0 +1,60 @@
+#include "hlssim/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gnndse::hlssim {
+
+const char* to_string(PipeMode m) {
+  switch (m) {
+    case PipeMode::kOff:
+      return "off";
+    case PipeMode::kCoarse:
+      return "cg";
+    case PipeMode::kFine:
+      return "fg";
+  }
+  return "?";
+}
+
+std::string DesignConfig::key() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    if (i) oss << ';';
+    oss << 'L' << i << ':' << to_string(loops[i].pipeline) << '/'
+        << loops[i].parallel << '/' << loops[i].tile;
+  }
+  return oss.str();
+}
+
+DesignConfig parse_config_key(const std::string& key) {
+  DesignConfig cfg;
+  if (key.empty()) return cfg;
+  std::istringstream iss(key);
+  std::string part;
+  while (std::getline(iss, part, ';')) {
+    const auto colon = part.find(':');
+    if (part.empty() || part[0] != 'L' || colon == std::string::npos)
+      throw std::invalid_argument("bad config key segment: " + part);
+    const auto s1 = part.find('/', colon);
+    const auto s2 = part.find('/', s1 + 1);
+    if (s1 == std::string::npos || s2 == std::string::npos)
+      throw std::invalid_argument("bad config key segment: " + part);
+    LoopConfig lc;
+    const std::string mode = part.substr(colon + 1, s1 - colon - 1);
+    if (mode == "off")
+      lc.pipeline = PipeMode::kOff;
+    else if (mode == "cg")
+      lc.pipeline = PipeMode::kCoarse;
+    else if (mode == "fg")
+      lc.pipeline = PipeMode::kFine;
+    else
+      throw std::invalid_argument("bad pipeline mode: " + mode);
+    lc.parallel = std::stoll(part.substr(s1 + 1, s2 - s1 - 1));
+    lc.tile = std::stoll(part.substr(s2 + 1));
+    cfg.loops.push_back(lc);
+  }
+  return cfg;
+}
+
+}  // namespace gnndse::hlssim

@@ -1,0 +1,70 @@
+// Hardware cost tables for the HLS simulator: per-operation latency and
+// resource footprints for single-precision / integer datapaths on
+// UltraScale+ fabric, plus the memory-system and synthesis-effort constants.
+//
+// The absolute values are in the right ballpark for Vitis HLS estimates;
+// what matters for the reproduction is that they induce the qualitative
+// trade-offs the GNN has to learn (DSP ~ multiplies x unroll, BRAM jumps
+// with partitioning/tiling, II saturated by recurrences and bandwidth).
+#pragma once
+
+namespace gnndse::hlssim::cost {
+
+// --- operation latency (cycles) ---------------------------------------------
+inline constexpr int kAddLat = 4;   // fp add/sub
+inline constexpr int kMulLat = 3;   // fp multiply
+inline constexpr int kDivLat = 14;  // fp divide
+inline constexpr int kCmpLat = 1;
+inline constexpr int kLogicLat = 1;
+inline constexpr int kSpecialLat = 8;  // exp/sqrt/table lookup chains
+
+// --- operation resources -----------------------------------------------------
+inline constexpr int kAddLut = 220, kAddFf = 180, kAddDsp = 2;
+inline constexpr int kMulLut = 100, kMulFf = 120, kMulDsp = 3;
+inline constexpr int kDivLut = 800, kDivFf = 900, kDivDsp = 0;
+inline constexpr int kCmpLut = 50, kCmpFf = 20;
+inline constexpr int kLogicLut = 30, kLogicFf = 10;
+inline constexpr int kSpecialLut = 400, kSpecialFf = 300, kSpecialDsp = 2;
+inline constexpr int kAccessLut = 25;  // address gen / mux per array access
+
+// --- memory system -----------------------------------------------------------
+// Off-chip bus: 512-bit AXI = 64 bytes per cycle of streaming bandwidth.
+inline constexpr double kBusBytesPerCycle = 64.0;
+// Merlin caches interface arrays up to this many elements in BRAM at
+// kernel start (automatic on-chip caching).
+inline constexpr long kAutoCacheElems = 4096;
+// Per-access latencies (cycles).
+inline constexpr int kOnChipRead = 2;
+inline constexpr int kOnChipIndirect = 3;
+inline constexpr int kOffChipSeq = 1;      // after burst inference
+inline constexpr int kOffChipStrided = 8;  // partial burst; /tile reuse
+inline constexpr int kOffChipIndirect = 40;
+inline constexpr int kBurstSetup = 100;  // per cached array at kernel start
+
+// --- structure ----------------------------------------------------------------
+inline constexpr int kLoopIterOverhead = 2;  // control per iteration
+inline constexpr int kLoopEntryOverhead = 3;
+inline constexpr int kPipelineFlush = 2;
+inline constexpr int kCgStageOverhead = 10;
+
+// --- platform baseline (static region / AXI infrastructure) -------------------
+inline constexpr long kBaseLut = 150000;
+inline constexpr long kBaseFf = 200000;
+inline constexpr long kBaseBram = 300;
+inline constexpr long kBaseDsp = 10;
+
+// --- tool-validity limits ------------------------------------------------------
+inline constexpr long kMaxUnrollProduct = 4096;  // HLS refuses beyond this
+inline constexpr long kMaxPartitionBanks = 1024;
+inline constexpr long kMaxParallelOffChip = 128;  // refuse wider interfaces
+
+// --- synthesis-effort model -----------------------------------------------------
+// synth_seconds = kSynthBase + kSynthLin * effort + kSynthQuad * effort^2.
+inline constexpr double kSynthBase = 60.0;
+inline constexpr double kSynthLin = 0.25;
+inline constexpr double kSynthQuad = 3e-6;
+// Non-associative recurrence parallelization: Merlin attempts expensive
+// rewrites; effort multiplier 500 * (p-1)^3.
+inline constexpr double kNonAssocEffortScale = 500.0;
+
+}  // namespace gnndse::hlssim::cost

@@ -1,0 +1,454 @@
+#include "hlssim/hls_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "hlssim/cost_model.hpp"
+
+namespace gnndse::hlssim {
+namespace {
+
+using kir::AccessKind;
+using kir::Kernel;
+using kir::Loop;
+using kir::Stmt;
+
+double log2ceil(double x) { return x <= 1.0 ? 0.0 : std::ceil(std::log2(x)); }
+
+/// Result of evaluating one loop subtree.
+struct Eval {
+  double latency = 0.0;        // cycles for the full loop execution
+  double depth1 = 0.0;         // critical path of one body iteration
+  double depth_unrolled = 0.0; // critical path if fully spatial
+  double exec_bytes = 0.0;     // off-chip bytes moved per full execution
+  double body_bytes = 0.0;     // off-chip bytes per single iteration
+  double body_ind = 0.0;       // on-chip indirect accesses per iteration
+  double exec_ind = 0.0;       // on-chip indirect accesses per full execution
+  long dsp = 0, lut = 0, ff = 0, bram = 0;
+  double effort = 0.0;
+  bool refused = false;
+  std::string reason;
+};
+
+struct StmtCost {
+  double lat = 0.0;
+  double bytes = 0.0;  // off-chip bytes per execution
+  double ind = 0.0;    // indirect on-chip accesses per execution
+  long dsp = 0, lut = 0, ff = 0;
+  double effort = 0.0;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const Kernel& k, const DesignConfig& cfg,
+            const FpgaResources& device)
+      : k_(k), device_(device), eff_(cfg.loops) {
+    if (eff_.size() != k.loops.size())
+      throw std::invalid_argument("DesignConfig size != number of loops");
+    normalize();
+  }
+
+  HlsResult run() {
+    HlsResult r;
+    Eval total;
+    std::string bank_refusal;
+    total.bram = cached_bram(bank_refusal);
+    if (!bank_refusal.empty()) {
+      r.valid = false;
+      r.invalid_reason = "refused: " + bank_refusal;
+      r.synth_seconds = cost::kSynthBase;
+      return r;
+    }
+    double init_cycles = cache_init_cycles();
+
+    for (int top : k_.top_loops) {
+      Eval e = eval_loop(top);
+      if (e.refused) {
+        r.valid = false;
+        r.invalid_reason = "refused: " + e.reason;
+        r.synth_seconds = cost::kSynthBase;
+        return r;
+      }
+      total.latency += e.latency;
+      total.exec_bytes += e.exec_bytes;
+      total.dsp += e.dsp;
+      total.lut += e.lut;
+      total.ff += e.ff;
+      total.bram += e.bram;
+      total.effort += e.effort;
+    }
+
+    // The kernel can never beat the off-chip bandwidth bound.
+    const double bw_floor = total.exec_bytes / cost::kBusBytesPerCycle;
+    r.cycles = std::max(total.latency + init_cycles, bw_floor);
+
+    r.dsp = total.dsp + cost::kBaseDsp;
+    r.lut = total.lut + cost::kBaseLut;
+    r.ff = total.ff + cost::kBaseFf;
+    r.bram = total.bram + cost::kBaseBram;
+    r.util_dsp = static_cast<double>(r.dsp) / device_.dsp;
+    r.util_bram = static_cast<double>(r.bram) / device_.bram18;
+    r.util_lut = static_cast<double>(r.lut) / device_.lut;
+    r.util_ff = static_cast<double>(r.ff) / device_.ff;
+
+    r.synth_seconds = cost::kSynthBase + cost::kSynthLin * total.effort +
+                      cost::kSynthQuad * total.effort * total.effort;
+    if (r.synth_seconds > MerlinHls::kTimeoutSeconds) {
+      r.valid = false;
+      r.invalid_reason = "timeout: synthesis exceeded 4h budget";
+      r.synth_seconds = MerlinHls::kTimeoutSeconds;
+      return r;
+    }
+    r.valid = true;
+    return r;
+  }
+
+ private:
+  // --- configuration normalization (Merlin rules) -------------------------
+
+  void normalize() { eff_ = normalize_config(k_, DesignConfig{eff_}); }
+
+  // --- memory helpers -------------------------------------------------------
+
+  bool cached(int arr) const {
+    const auto& a = k_.arrays[static_cast<std::size_t>(arr)];
+    return !a.off_chip || a.num_elems <= cost::kAutoCacheElems;
+  }
+
+  long cached_bram(std::string& refusal) {
+    long blocks = 0;
+    for (std::size_t ai = 0; ai < k_.arrays.size(); ++ai) {
+      const auto& a = k_.arrays[ai];
+      if (!cached(static_cast<int>(ai))) continue;
+      const double bits = static_cast<double>(a.num_elems) * a.elem_bits;
+      long base = static_cast<long>(std::ceil(bits / 18432.0));
+      // Automatic array partitioning: the widest parallel factor of any
+      // loop driving an access to this array sets the bank count.
+      long banks = 1;
+      for (const Stmt& s : k_.stmts)
+        for (const auto& acc : s.accesses)
+          if (acc.array == static_cast<int>(ai) && acc.driving_loop >= 0)
+            banks = std::max<long>(
+                banks, spatial_factor(acc.driving_loop));
+      if (banks > cost::kMaxPartitionBanks)
+        refusal = "array " + a.name + " needs " + std::to_string(banks) +
+                  " partition banks (limit " +
+                  std::to_string(cost::kMaxPartitionBanks) + ")";
+      blocks += std::max(base, std::min(banks, cost::kMaxPartitionBanks));
+    }
+    return blocks;
+  }
+
+  double cache_init_cycles() const {
+    double cycles = 0.0;
+    for (std::size_t ai = 0; ai < k_.arrays.size(); ++ai) {
+      const auto& a = k_.arrays[ai];
+      if (!a.off_chip || !cached(static_cast<int>(ai))) continue;
+      cycles += cost::kBurstSetup +
+                (static_cast<double>(a.num_elems) * a.elem_bits / 8.0) /
+                    cost::kBusBytesPerCycle;
+    }
+    return cycles;
+  }
+
+  /// Product of parallel factors from this loop up to the root — the
+  /// spatial replication any instruction in this loop's body experiences.
+  long spatial_factor(int loop_id) const {
+    double f = 1;
+    int cur = loop_id;
+    while (cur != -1) {
+      f *= static_cast<double>(eff_[static_cast<std::size_t>(cur)].parallel);
+      cur = k_.loops[static_cast<std::size_t>(cur)].parent;
+    }
+    return static_cast<long>(std::min(f, 1e12));
+  }
+
+  /// Largest tile factor among this loop and its ancestors — controls
+  /// strided off-chip reuse.
+  std::int64_t effective_tile(int loop_id) const {
+    std::int64_t t = 1;
+    int cur = loop_id;
+    while (cur != -1) {
+      t = std::max(t, eff_[static_cast<std::size_t>(cur)].tile);
+      cur = k_.loops[static_cast<std::size_t>(cur)].parent;
+    }
+    return t;
+  }
+
+  StmtCost eval_stmt(const Stmt& s, std::int64_t tile) const {
+    StmtCost c;
+    const auto& ops = s.ops;
+    const double chain = ops.adds * cost::kAddLat + ops.muls * cost::kMulLat +
+                         ops.divs * cost::kDivLat + ops.cmps * cost::kCmpLat +
+                         ops.logic * cost::kLogicLat +
+                         ops.specials * cost::kSpecialLat;
+    double max_read = 0.0, max_write = 0.0;
+    for (const auto& acc : s.accesses) {
+      const auto& arr = k_.arrays[static_cast<std::size_t>(acc.array)];
+      const double elem_bytes = arr.elem_bits / 8.0;
+      double lat;
+      if (cached(acc.array)) {
+        lat = acc.kind == AccessKind::kIndirect ? cost::kOnChipIndirect
+                                                : cost::kOnChipRead;
+        if (acc.kind == AccessKind::kIndirect) c.ind += 1.0;
+      } else {
+        switch (acc.kind) {
+          case AccessKind::kSequential:
+            lat = cost::kOffChipSeq;
+            c.bytes += elem_bytes;
+            break;
+          case AccessKind::kStrided:
+            lat = std::max<double>(2.0, cost::kOffChipStrided /
+                                            static_cast<double>(tile));
+            c.bytes += elem_bytes * std::max<double>(
+                                        1.0, cost::kOffChipStrided /
+                                                 static_cast<double>(tile));
+            break;
+          case AccessKind::kIndirect:
+            lat = cost::kOffChipIndirect;
+            c.bytes += cost::kBusBytesPerCycle;  // wasted line per access
+            break;
+          case AccessKind::kBroadcast:
+          default:
+            lat = cost::kOnChipRead;  // hoisted into a register
+            break;
+        }
+      }
+      if (acc.is_write)
+        max_write = std::max(max_write, lat);
+      else
+        max_read = std::max(max_read, lat);
+    }
+    c.lat = 1.0 + max_read + chain + max_write;
+    c.dsp = ops.adds * cost::kAddDsp + ops.muls * cost::kMulDsp +
+            ops.specials * cost::kSpecialDsp;
+    c.lut = ops.adds * cost::kAddLut + ops.muls * cost::kMulLut +
+            ops.divs * cost::kDivLut + ops.cmps * cost::kCmpLut +
+            ops.logic * cost::kLogicLut + ops.specials * cost::kSpecialLut +
+            static_cast<long>(s.accesses.size()) * cost::kAccessLut;
+    c.ff = static_cast<long>(0.9 * c.lut) + static_cast<long>(c.lat * 8);
+    c.effort = 1.0 + ops.total() / 4.0;
+    return c;
+  }
+
+  // --- loop evaluation -------------------------------------------------------
+
+  Eval eval_loop(int loop_id) {
+    const Loop& loop = k_.loops[static_cast<std::size_t>(loop_id)];
+    const LoopConfig& c = eff_[static_cast<std::size_t>(loop_id)];
+    const std::int64_t tile = effective_tile(loop_id);
+    Eval e;
+
+    // Body: statements plus child loops, executed in sequence.
+    double stmt_lat = 0.0;
+    StmtCost body;
+    for (int sid : loop.stmts) {
+      StmtCost sc = eval_stmt(k_.stmts[static_cast<std::size_t>(sid)], tile);
+      stmt_lat += sc.lat;
+      body.bytes += sc.bytes;
+      body.ind += sc.ind;
+      body.dsp += sc.dsp;
+      body.lut += sc.lut;
+      body.ff += sc.ff;
+      body.effort += sc.effort;
+    }
+
+    std::vector<Eval> children;
+    children.reserve(loop.children.size());
+    double child_lat = 0.0, child_depth_unrolled = 0.0;
+    for (int ch : loop.children) {
+      Eval ce = eval_loop(ch);
+      if (ce.refused) return ce;
+      child_lat += ce.latency;
+      child_depth_unrolled += ce.depth_unrolled;
+      e.body_bytes += ce.exec_bytes;
+      e.body_ind += ce.exec_ind;  // child's full execution per our iteration
+      e.dsp += ce.dsp;
+      e.lut += ce.lut;
+      e.ff += ce.ff;
+      e.bram += ce.bram;
+      e.effort += ce.effort;
+      children.push_back(std::move(ce));
+    }
+    e.body_bytes += body.bytes;
+    e.body_ind += body.ind;
+    e.dsp += body.dsp;
+    e.lut += body.lut;
+    e.ff += body.ff;
+    e.effort += body.effort;
+
+    // Recurrences carried by this loop (statements anywhere in its body).
+    bool has_dep = false, assoc = true;
+    int rec_mii = 1, dep_lat = 0;
+    for (int d : k_.subtree(loop_id))
+      for (int sid : k_.loops[static_cast<std::size_t>(d)].stmts)
+        collect_dep(sid, loop_id, has_dep, assoc, rec_mii, dep_lat);
+
+    const std::int64_t p = c.parallel;
+    const std::int64_t n = loop.trip_count;
+
+    // --- validity gates -----------------------------------------------------
+    const long spatial = spatial_factor(loop_id);
+    if (!loop.stmts.empty() && spatial > cost::kMaxUnrollProduct) {
+      e.refused = true;
+      e.reason = "unroll product " + std::to_string(spatial) + " exceeds " +
+                 std::to_string(cost::kMaxUnrollProduct);
+      return e;
+    }
+    if (p > cost::kMaxParallelOffChip && e.body_bytes > 0) {
+      e.refused = true;
+      e.reason = "parallel factor " + std::to_string(p) +
+                 " too wide for off-chip interface";
+      return e;
+    }
+
+    // Parallelizing a non-associative recurrence: no latency benefit and a
+    // synthesis-effort explosion (Merlin tries wavefront rewrites).
+    double latency_p = static_cast<double>(p);
+    if (has_dep && !assoc && p > 1) {
+      latency_p = 1.0;
+      const double pd = static_cast<double>(p - 1);
+      e.effort += cost::kNonAssocEffortScale * pd * pd * pd;
+    }
+
+    // Spatial replication of this loop's body.
+    e.dsp *= p;
+    e.lut *= p;
+    e.ff *= p;
+    e.effort = e.effort * static_cast<double>(p) + 5.0;
+    // Tile buffers: one RAMB18 bank group per tile chunk for strided
+    // off-chip arrays below this loop.
+    if (c.tile > 1 && e.body_bytes > 0)
+      e.bram += static_cast<long>(c.tile);
+
+    const double trips =
+        (has_dep && !assoc) ? static_cast<double>(n)
+                            : std::ceil(static_cast<double>(n) / latency_p);
+
+    // Depth of one iteration (children spatially unrolled for fg parents).
+    e.depth1 = stmt_lat + child_lat + cost::kLoopIterOverhead;
+    double depth_spatial = stmt_lat + child_depth_unrolled;
+
+    switch (c.pipeline) {
+      case PipeMode::kFine: {
+        // All descendants are fully unrolled; body depth is spatial.
+        double ii = 1.0;
+        if (has_dep)
+          ii = std::max(ii, std::ceil(static_cast<double>(rec_mii)));
+        ii = std::max(ii, std::ceil(e.body_bytes * static_cast<double>(p) /
+                                    cost::kBusBytesPerCycle));
+        ii = std::max(ii, std::ceil(e.body_ind * static_cast<double>(p) / 2.0));
+        double depth = depth_spatial + cost::kPipelineFlush;
+        if (has_dep && assoc && p > 1)
+          depth += log2ceil(static_cast<double>(p)) * dep_lat;
+        e.latency = depth + ii * std::max(0.0, trips - 1.0) +
+                    cost::kLoopEntryOverhead;
+        break;
+      }
+      case PipeMode::kCoarse: {
+        // Dataflow stages: each child loop is a stage (plus one stage for
+        // the loop's own statements). Double buffering costs BRAM.
+        double stage_max = stmt_lat;
+        for (const Eval& ce : children) stage_max = std::max(stage_max, ce.latency);
+        const double stages =
+            static_cast<double>(children.size()) + (loop.stmts.empty() ? 0 : 1);
+        long extra_bram = 0;
+        for (const Eval& ce : children) extra_bram += ce.bram;
+        e.bram += extra_bram;  // ping-pong buffers
+        if (has_dep) {
+          // A carried dependence forbids stage overlap across iterations:
+          // cg degenerates to sequential execution plus buffering overhead.
+          e.latency = trips * (stmt_lat + child_lat +
+                               cost::kLoopIterOverhead) *
+                          1.05 +
+                      cost::kLoopEntryOverhead;
+        } else {
+          e.latency = stage_max * (trips + stages - 1.0) +
+                      cost::kCgStageOverhead + cost::kLoopEntryOverhead;
+        }
+        if (has_dep && assoc && p > 1)
+          e.latency += log2ceil(static_cast<double>(p)) * dep_lat;
+        break;
+      }
+      case PipeMode::kOff:
+      default: {
+        e.latency =
+            trips * (stmt_lat + child_lat + cost::kLoopIterOverhead) +
+            cost::kLoopEntryOverhead;
+        if (has_dep && assoc && p > 1)
+          e.latency += log2ceil(static_cast<double>(p)) * dep_lat;
+        break;
+      }
+    }
+
+    // Unrolled depth for a fine-grained-pipelining ancestor.
+    if (has_dep && !assoc)
+      e.depth_unrolled = static_cast<double>(n) * (stmt_lat + child_depth_unrolled);
+    else if (has_dep)
+      e.depth_unrolled = stmt_lat + child_depth_unrolled +
+                         log2ceil(static_cast<double>(n)) * dep_lat;
+    else
+      e.depth_unrolled = stmt_lat + child_depth_unrolled;
+
+    // Bandwidth floor for this subtree.
+    e.exec_bytes = e.body_bytes * static_cast<double>(n);
+    e.exec_ind = e.body_ind * static_cast<double>(n);
+    e.latency = std::max(e.latency, e.exec_bytes / cost::kBusBytesPerCycle);
+    return e;
+  }
+
+  void collect_dep(int sid, int loop_id, bool& has_dep, bool& assoc,
+                   int& rec_mii, int& dep_lat) const {
+    const Stmt& s = k_.stmts[static_cast<std::size_t>(sid)];
+    if (s.dep_loop != loop_id) return;
+    has_dep = true;
+    assoc = assoc && s.dep_associative;
+    rec_mii = std::max(
+        rec_mii, (s.dep_latency + s.dep_distance - 1) / s.dep_distance);
+    dep_lat = std::max(dep_lat, s.dep_latency);
+  }
+
+  const Kernel& k_;
+  const FpgaResources& device_;
+  std::vector<LoopConfig> eff_;
+};
+
+}  // namespace
+
+std::vector<LoopConfig> normalize_config(const Kernel& k,
+                                         const DesignConfig& cfg) {
+  std::vector<LoopConfig> eff = cfg.loops;
+  if (eff.size() != k.loops.size())
+    throw std::invalid_argument("normalize_config: size mismatch");
+  for (std::size_t l = 0; l < eff.size(); ++l) {
+    const Loop& loop = k.loops[l];
+    auto& c = eff[l];
+    c.parallel = std::clamp<std::int64_t>(c.parallel, 1, loop.trip_count);
+    c.tile = std::clamp<std::int64_t>(c.tile, 1, loop.trip_count);
+    // cg pipelining a childless loop degenerates to fine-grained.
+    if (c.pipeline == PipeMode::kCoarse && loop.children.empty())
+      c.pipeline = PipeMode::kFine;
+  }
+  // Fine-grained pipelining fully unrolls every descendant loop and
+  // discards their pragmas (§2.3 / §4.4 of the paper).
+  for (std::size_t l = 0; l < eff.size(); ++l) {
+    if (eff[l].pipeline != PipeMode::kFine) continue;
+    for (int d : k.subtree(static_cast<int>(l))) {
+      if (d == static_cast<int>(l)) continue;
+      eff[static_cast<std::size_t>(d)].pipeline = PipeMode::kOff;
+      eff[static_cast<std::size_t>(d)].parallel =
+          k.loops[static_cast<std::size_t>(d)].trip_count;
+      eff[static_cast<std::size_t>(d)].tile = 1;
+    }
+  }
+  return eff;
+}
+
+HlsResult MerlinHls::evaluate(const Kernel& k, const DesignConfig& cfg) const {
+  Evaluator ev(k, cfg, device_);
+  return ev.run();
+}
+
+}  // namespace gnndse::hlssim

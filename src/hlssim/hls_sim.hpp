@@ -1,0 +1,87 @@
+// MerlinHls: the HLS-tool substrate.
+//
+// The paper evaluates every design point with the Merlin Compiler on top of
+// Xilinx Vitis HLS (minutes to hours per point). We replace that tool chain
+// with a deterministic analytic-plus-heuristic simulator that reproduces
+// the *decision structure* an HLS tool exposes to a learner:
+//
+//   * pipeline off/cg/fg semantics (fg fully unrolls sub-loops — Merlin's
+//     rule), initiation interval limited by recurrences (RecMII) and by
+//     memory ports / off-chip bandwidth (ResMII);
+//   * parallel (unroll) with automatic array partitioning, reduction-tree
+//     handling for associative recurrences, and padding penalties for
+//     non-divisor factors;
+//   * tile with on-chip tile buffers that improve strided off-chip reuse;
+//   * Merlin's automatic optimizations: small interface arrays are cached
+//     on-chip at kernel start, sequential off-chip accesses become bursts;
+//   * resource estimation (DSP/BRAM/LUT/FF) with spatial replication,
+//     partition overheads and coarse-grained double buffering;
+//   * validity: the tool *refuses* structurally hopeless designs (unroll
+//     product or partition limits, parallelized non-associative
+//     recurrences) and *times out* (4 h) on designs whose synthesis effort
+//     explodes — both are "invalid" classes in the paper's classifier;
+//   * a synthetic synthesis wall-clock so AutoDSE-vs-GNN-DSE runtime
+//     comparisons (Table 3) are meaningful.
+#pragma once
+
+#include <string>
+
+#include "hlssim/config.hpp"
+#include "kir/kernel.hpp"
+
+namespace gnndse::hlssim {
+
+/// Target device: Xilinx Virtex Ultrascale+ VCU1525 (VU9P), as in §5.1.
+struct FpgaResources {
+  long dsp = 6840;
+  long bram18 = 4320;      // RAMB18 blocks
+  long lut = 1182240;
+  long ff = 2364480;
+};
+
+struct HlsResult {
+  bool valid = false;
+  /// Empty when valid; otherwise "timeout: ..." or "refused: ...".
+  std::string invalid_reason;
+
+  double cycles = 0.0;  // kernel latency in cycles
+  long dsp = 0;
+  long bram = 0;  // RAMB18 blocks
+  long lut = 0;
+  long ff = 0;
+
+  /// Simulated synthesis wall-clock in seconds (what AutoDSE pays per
+  /// evaluation). Set for both valid and timed-out designs.
+  double synth_seconds = 0.0;
+
+  /// Utilizations relative to the target device (may exceed 1.0 — the HLS
+  /// estimate can overflow the chip; the DSE applies the threshold).
+  double util_dsp = 0.0, util_bram = 0.0, util_lut = 0.0, util_ff = 0.0;
+};
+
+/// The effective per-loop pragma assignment after Merlin's normalization
+/// rules: factors clamped to trip counts, cg on childless loops coerced to
+/// fg, and fg pipelining fully unrolling every descendant (discarding its
+/// own pragmas). This is what the evaluator actually simulates; exposed so
+/// users and tests can inspect how the tool reinterprets a configuration.
+std::vector<LoopConfig> normalize_config(const kir::Kernel& k,
+                                         const DesignConfig& cfg);
+
+class MerlinHls {
+ public:
+  explicit MerlinHls(FpgaResources device = {}) : device_(device) {}
+
+  /// Evaluates one design point. Deterministic.
+  HlsResult evaluate(const kir::Kernel& k, const DesignConfig& cfg) const;
+
+  const FpgaResources& device() const { return device_; }
+
+  /// Synthesis wall-clock limit after which a design is "invalid: timeout"
+  /// (the paper uses 4 hours).
+  static constexpr double kTimeoutSeconds = 4.0 * 3600.0;
+
+ private:
+  FpgaResources device_;
+};
+
+}  // namespace gnndse::hlssim

@@ -1,0 +1,22 @@
+// Extension kernels beyond the DAC'22 evaluation — the paper's future-work
+// direction of covering more domains (§6). Usable anywhere the core suite
+// is: database generation, training, DSE.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kir/kernel.hpp"
+
+namespace gnndse::kernels {
+
+/// Names of the extension kernels (gemver, jacobi-2d, fdtd-2d, trmm, syrk,
+/// md-knn).
+const std::vector<std::string>& extension_kernel_names();
+
+/// Builds an extension kernel by name; throws for unknown names.
+kir::Kernel make_extension_kernel(const std::string& name);
+
+std::vector<kir::Kernel> make_extension_kernels();
+
+}  // namespace gnndse::kernels

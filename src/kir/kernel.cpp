@@ -1,0 +1,213 @@
+#include "kir/kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gnndse::kir {
+
+int Kernel::num_pragma_sites() const {
+  int n = 0;
+  for (const Loop& l : loops) n += l.num_pragma_sites();
+  return n;
+}
+
+int Kernel::loop_depth(int loop_id) const {
+  int depth = 0;
+  int cur = loops[static_cast<std::size_t>(loop_id)].parent;
+  while (cur != -1) {
+    ++depth;
+    cur = loops[static_cast<std::size_t>(cur)].parent;
+  }
+  return depth;
+}
+
+bool Kernel::is_ancestor(int ancestor, int loop_id) const {
+  int cur = loops[static_cast<std::size_t>(loop_id)].parent;
+  while (cur != -1) {
+    if (cur == ancestor) return true;
+    cur = loops[static_cast<std::size_t>(cur)].parent;
+  }
+  return false;
+}
+
+std::vector<int> Kernel::subtree(int loop_id) const {
+  std::vector<int> out;
+  std::vector<int> stack{loop_id};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const Loop& l = loops[static_cast<std::size_t>(cur)];
+    for (auto it = l.children.rbegin(); it != l.children.rend(); ++it)
+      stack.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<int> Kernel::innermost_loops() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < loops.size(); ++i)
+    if (loops[i].children.empty()) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+void validate(const Kernel& k) {
+  auto fail = [&k](const std::string& msg) {
+    throw std::invalid_argument("kernel '" + k.name + "': " + msg);
+  };
+  if (k.name.empty()) fail("empty name");
+
+  for (std::size_t i = 0; i < k.loops.size(); ++i) {
+    const Loop& l = k.loops[i];
+    if (l.trip_count <= 0) fail("loop " + l.name + " has trip count <= 0");
+    if (l.parent != -1) {
+      if (l.parent < 0 || static_cast<std::size_t>(l.parent) >= k.loops.size())
+        fail("loop " + l.name + " has out-of-range parent");
+      if (static_cast<std::size_t>(l.parent) >= i)
+        fail("loop " + l.name + " precedes its parent (topological order)");
+      const Loop& p = k.loops[static_cast<std::size_t>(l.parent)];
+      if (std::find(p.children.begin(), p.children.end(),
+                    static_cast<int>(i)) == p.children.end())
+        fail("loop " + l.name + " missing from parent's children");
+    } else if (std::find(k.top_loops.begin(), k.top_loops.end(),
+                         static_cast<int>(i)) == k.top_loops.end()) {
+      fail("top-level loop " + l.name + " missing from top_loops");
+    }
+    auto check_options = [&](const std::vector<std::int64_t>& opts, bool can,
+                             const char* what) {
+      if (!can) {
+        if (!opts.empty()) fail(std::string(what) + " options on a loop without the site");
+        return;
+      }
+      if (opts.empty()) fail(std::string(what) + " site without options");
+      if (std::find(opts.begin(), opts.end(), 1) == opts.end())
+        fail(std::string(what) + " options must include 1");
+      for (auto f : opts) {
+        if (f < 1) fail(std::string(what) + " factor < 1");
+        if (f > l.trip_count)
+          fail(std::string(what) + " factor exceeds trip count");
+      }
+    };
+    check_options(l.parallel_options, l.can_parallel, "parallel");
+    check_options(l.tile_options, l.can_tile, "tile");
+  }
+
+  for (std::size_t s = 0; s < k.stmts.size(); ++s) {
+    const Stmt& st = k.stmts[s];
+    if (st.parent_loop < 0 ||
+        static_cast<std::size_t>(st.parent_loop) >= k.loops.size())
+      fail("stmt " + st.name + " has no parent loop");
+    const Loop& pl = k.loops[static_cast<std::size_t>(st.parent_loop)];
+    if (std::find(pl.stmts.begin(), pl.stmts.end(), static_cast<int>(s)) ==
+        pl.stmts.end())
+      fail("stmt " + st.name + " missing from parent loop's stmt list");
+    for (const ArrayAccess& a : st.accesses) {
+      if (a.array < 0 || static_cast<std::size_t>(a.array) >= k.arrays.size())
+        fail("stmt " + st.name + " accesses out-of-range array");
+      if (a.driving_loop != -1 &&
+          (a.driving_loop < 0 ||
+           static_cast<std::size_t>(a.driving_loop) >= k.loops.size()))
+        fail("stmt " + st.name + " has out-of-range driving loop");
+    }
+    if (st.dep_loop != -1) {
+      if (static_cast<std::size_t>(st.dep_loop) >= k.loops.size())
+        fail("stmt " + st.name + " has out-of-range dep loop");
+      if (st.dep_distance < 1) fail("stmt " + st.name + " dep distance < 1");
+      if (st.dep_latency < 1) fail("stmt " + st.name + " dep latency < 1");
+    }
+  }
+
+  if (!k.loop_function.empty() && k.loop_function.size() != k.loops.size())
+    fail("loop_function size mismatch");
+  if (k.num_functions < 1) fail("num_functions < 1");
+}
+
+// ---------------------------------------------------------------------------
+// Builder.
+// ---------------------------------------------------------------------------
+
+KernelBuilder::KernelBuilder(std::string name) {
+  kernel_.name = std::move(name);
+}
+
+int KernelBuilder::add_array(const std::string& name, std::int64_t elems,
+                             bool off_chip, int elem_bits) {
+  kernel_.arrays.push_back(Array{name, elems, elem_bits, off_chip});
+  return static_cast<int>(kernel_.arrays.size() - 1);
+}
+
+int KernelBuilder::begin_loop(const std::string& name, std::int64_t trip_count,
+                              int parent) {
+  Loop l;
+  l.name = name;
+  l.trip_count = trip_count;
+  l.parent = parent;
+  kernel_.loops.push_back(std::move(l));
+  const int id = static_cast<int>(kernel_.loops.size() - 1);
+  if (parent == -1) {
+    kernel_.top_loops.push_back(id);
+  } else {
+    kernel_.loops[static_cast<std::size_t>(parent)].children.push_back(id);
+  }
+  return id;
+}
+
+int KernelBuilder::add_stmt(int loop_id, const std::string& name, OpMix ops,
+                            std::vector<ArrayAccess> accesses) {
+  Stmt s;
+  s.name = name;
+  s.parent_loop = loop_id;
+  s.ops = ops;
+  s.accesses = std::move(accesses);
+  kernel_.stmts.push_back(std::move(s));
+  const int id = static_cast<int>(kernel_.stmts.size() - 1);
+  kernel_.loops[static_cast<std::size_t>(loop_id)].stmts.push_back(id);
+  return id;
+}
+
+void KernelBuilder::set_recurrence(int stmt_id, int loop_id, int distance,
+                                   int latency, bool associative) {
+  Stmt& s = kernel_.stmts[static_cast<std::size_t>(stmt_id)];
+  s.dep_loop = loop_id;
+  s.dep_distance = distance;
+  s.dep_latency = latency;
+  s.dep_associative = associative;
+}
+
+void KernelBuilder::set_loop_function(int loop_id, int fn) {
+  if (kernel_.loop_function.empty())
+    kernel_.loop_function.assign(kernel_.loops.size() + 16, 0);
+  if (kernel_.loop_function.size() < kernel_.loops.size())
+    kernel_.loop_function.resize(kernel_.loops.size(), 0);
+  kernel_.loop_function[static_cast<std::size_t>(loop_id)] = fn;
+}
+
+Kernel KernelBuilder::build() {
+  if (!kernel_.loop_function.empty())
+    kernel_.loop_function.resize(kernel_.loops.size(), 0);
+  validate(kernel_);
+  return kernel_;
+}
+
+std::vector<std::int64_t> candidate_factors(std::int64_t trip_count,
+                                            std::int64_t max_factor,
+                                            bool powers_of_two_only) {
+  std::vector<std::int64_t> out;
+  const std::int64_t cap = std::min(trip_count, max_factor);
+  for (std::int64_t f = 1; f <= cap; ++f) {
+    const bool pow2 = (f & (f - 1)) == 0;
+    if (powers_of_two_only && !pow2) continue;
+    // Divisors give clean unrolls; non-divisor powers of two are still
+    // offered because Merlin pads the loop (at a cost hlssim models).
+    if (trip_count % f != 0 && !pow2) continue;
+    out.push_back(f);
+  }
+  // Merlin treats the full trip count as a useful "unroll everything"
+  // factor even when it moderately exceeds max_factor.
+  if (trip_count <= 4 * max_factor &&
+      std::find(out.begin(), out.end(), trip_count) == out.end())
+    out.push_back(trip_count);
+  return out;
+}
+
+}  // namespace gnndse::kir

@@ -1,0 +1,199 @@
+// Kernel IR: the loop-nest program representation for FPGA accelerator
+// kernels.
+//
+// The paper's pipeline starts from C source compiled to LLVM IR; our
+// substrate is a structured loop-nest IR that carries exactly the
+// information both downstream consumers need:
+//   * hlssim  — trip counts, operation mixes, array access patterns and
+//     loop-carried dependences, from which cycle counts and resource usage
+//     are derived under Merlin pragma semantics;
+//   * graphgen — the structure that is lowered to a ProGraML-style
+//     instruction/variable/constant graph with pragma nodes.
+//
+// Pragma *sites* (the `auto{...}` placeholders of Code 1 in the paper) are
+// per-loop capability flags plus candidate factor lists; concrete
+// configurations live in dspace/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnndse::kir {
+
+/// On-chip or off-chip storage for a kernel array.
+struct Array {
+  std::string name;
+  std::int64_t num_elems = 0;
+  int elem_bits = 32;
+  /// True for kernel interface arrays living in DDR (accessed via AXI);
+  /// false for scratchpads the kernel declares locally (BRAM from the
+  /// start).
+  bool off_chip = true;
+};
+
+/// How a statement walks an array with respect to its innermost driving
+/// loop. Determines burst/coalescing feasibility in the simulator and the
+/// `key_text` of the generated load/store nodes.
+enum class AccessKind {
+  kSequential,  // a[i], unit stride in the driving loop
+  kStrided,     // a[i*S + c], S > 1
+  kIndirect,    // a[idx[i]] — gather/scatter, defeats bursting
+  kBroadcast,   // same element every iteration of the driving loop
+};
+
+struct ArrayAccess {
+  int array = -1;  // index into Kernel::arrays
+  bool is_write = false;
+  AccessKind kind = AccessKind::kSequential;
+  /// Loop (by id) whose induction variable drives the fastest-moving
+  /// subscript; -1 when the access is loop-invariant.
+  int driving_loop = -1;
+};
+
+/// Operation mix of one straight-line statement instance.
+struct OpMix {
+  int adds = 0;   // add/sub (int or fp)
+  int muls = 0;   // multiplies -> DSP pressure
+  int divs = 0;   // divides -> long latency, heavy LUT
+  int cmps = 0;   // comparisons / selects
+  int logic = 0;  // bitwise ops (xor/and/shift) — crypto kernels
+  int specials = 0;  // exp/sqrt/table-lookup style ops
+
+  int total() const { return adds + muls + divs + cmps + logic + specials; }
+};
+
+/// One statement in a loop body.
+struct Stmt {
+  std::string name;
+  int parent_loop = -1;  // loop whose body executes this stmt
+  OpMix ops;
+  std::vector<ArrayAccess> accesses;
+  /// Loop-carried recurrence this statement participates in:
+  /// produces a value consumed `dep_distance` iterations later of loop
+  /// `dep_loop`, through a chain of `dep_latency` cycles (e.g. a running
+  /// accumulation: dep_latency = fp-add latency, distance = 1).
+  int dep_loop = -1;
+  int dep_distance = 0;
+  int dep_latency = 0;
+  /// True for associative recurrences (sum/max reductions) that HLS can
+  /// parallelize with a reduction tree; false for general DP chains
+  /// (e.g. nw) where parallelization forces serialization or synthesis
+  /// blow-up.
+  bool dep_associative = true;
+};
+
+/// One loop in the nest. Loops form a forest; `parent == -1` marks a
+/// top-level loop of the kernel function body.
+struct Loop {
+  std::string name;
+  std::int64_t trip_count = 0;
+  int parent = -1;
+  std::vector<int> children;  // loop ids, in program order
+  std::vector<int> stmts;     // statement ids executed in this body
+
+  // -- pragma sites (the auto{...} placeholders) --------------------------
+  bool can_pipeline = false;
+  bool can_parallel = false;
+  bool can_tile = false;
+  /// Candidate parallel factors (always includes 1 = "pragma absent").
+  std::vector<std::int64_t> parallel_options;
+  /// Candidate tile factors (always includes 1).
+  std::vector<std::int64_t> tile_options;
+
+  int num_pragma_sites() const {
+    return (can_pipeline ? 1 : 0) + (can_parallel ? 1 : 0) +
+           (can_tile ? 1 : 0);
+  }
+};
+
+/// A whole accelerator kernel.
+struct Kernel {
+  std::string name;
+  std::vector<Array> arrays;
+  std::vector<Loop> loops;  // parents always precede children
+  std::vector<Stmt> stmts;
+  std::vector<int> top_loops;  // ids of top-level loops, program order
+  /// Number of source functions (>1 when the kernel has helper functions;
+  /// used for call-flow edges in the graph).
+  int num_functions = 1;
+  /// For multi-function kernels: loop id -> function index (0 = top).
+  std::vector<int> loop_function;
+
+  int function_of_loop(int loop_id) const {
+    if (loop_function.empty()) return 0;
+    return loop_function[static_cast<std::size_t>(loop_id)];
+  }
+
+  /// Total pragma sites across all loops (the paper's "#pragmas").
+  int num_pragma_sites() const;
+
+  /// Depth of a loop (top-level = 0).
+  int loop_depth(int loop_id) const;
+
+  /// True when `ancestor` is a (transitive) parent of `loop_id`.
+  bool is_ancestor(int ancestor, int loop_id) const;
+
+  /// All loops in the subtree rooted at `loop_id`, including itself.
+  std::vector<int> subtree(int loop_id) const;
+
+  /// Innermost loops (no children).
+  std::vector<int> innermost_loops() const;
+};
+
+/// Structural sanity checks; throws std::invalid_argument on violation.
+/// Verified invariants: parent/child symmetry, topological ordering,
+/// statement linkage, positive trip counts, option lists that contain 1 and
+/// divide or not exceed the trip count.
+void validate(const Kernel& k);
+
+// ---------------------------------------------------------------------------
+// Builder — fluent construction used by src/kernels.
+// ---------------------------------------------------------------------------
+
+/// Convenience builder so kernel definitions read like the loop nests they
+/// describe. Example:
+///
+///   KernelBuilder b("gemm-ncubed");
+///   int A = b.array("A", 4096);
+///   int i = b.loop("i", 64).pipeline().parallel({1,2,4,8}).done();
+///   ...
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  int add_array(const std::string& name, std::int64_t elems,
+                bool off_chip = true, int elem_bits = 32);
+
+  /// Opens a loop under `parent` (-1 = top level). Returns the loop id.
+  int begin_loop(const std::string& name, std::int64_t trip_count,
+                 int parent = -1);
+
+  Loop& loop(int id) { return kernel_.loops[static_cast<std::size_t>(id)]; }
+
+  /// Adds a statement to `loop_id`'s body; returns the statement id.
+  int add_stmt(int loop_id, const std::string& name, OpMix ops,
+               std::vector<ArrayAccess> accesses = {});
+
+  /// Marks the last-added statement as part of a loop-carried recurrence.
+  void set_recurrence(int stmt_id, int loop_id, int distance, int latency,
+                      bool associative = true);
+
+  void set_num_functions(int n) { kernel_.num_functions = n; }
+  void set_loop_function(int loop_id, int fn);
+
+  /// Validates and returns the finished kernel.
+  Kernel build();
+
+ private:
+  Kernel kernel_;
+};
+
+/// Standard candidate factor lists used by the benchmark kernels: divisors
+/// of `trip_count` that are <= max_factor, optionally thinned to powers of
+/// two plus the trip count itself (Merlin's useful factors).
+std::vector<std::int64_t> candidate_factors(std::int64_t trip_count,
+                                            std::int64_t max_factor = 64,
+                                            bool powers_of_two_only = false);
+
+}  // namespace gnndse::kir

@@ -1,0 +1,110 @@
+#include "model/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gnndse::model {
+
+SampleFactory::KernelCache& SampleFactory::cache_for(
+    const kir::Kernel& kernel) {
+  auto it = cache_.find(kernel.name);
+  if (it != cache_.end()) return it->second;
+
+  KernelCache kc;
+  kc.space = std::make_unique<dspace::DesignSpace>(kernel);
+  kc.graph = graphgen::build_graph(kernel, *kc.space);
+  kc.edge_feats = graphgen::edge_features(kc.graph);
+  kc.src.reserve(kc.graph.edges.size());
+  kc.dst.reserve(kc.graph.edges.size());
+  for (const auto& e : kc.graph.edges) {
+    kc.src.push_back(e.src);
+    kc.dst.push_back(e.dst);
+  }
+  return cache_.emplace(kernel.name, std::move(kc)).first->second;
+}
+
+const dspace::DesignSpace& SampleFactory::space(const kir::Kernel& kernel) {
+  return *cache_for(kernel).space;
+}
+
+const graphgen::ProgramGraph& SampleFactory::graph(const kir::Kernel& kernel) {
+  return cache_for(kernel).graph;
+}
+
+gnn::GraphData SampleFactory::featurize(const kir::Kernel& kernel,
+                                        const hlssim::DesignConfig& cfg) {
+  KernelCache& kc = cache_for(kernel);
+  gnn::GraphData g;
+  g.x = graphgen::node_features(kc.graph, *kc.space, cfg);
+  g.e = kc.edge_feats;
+  g.src = kc.src;
+  g.dst = kc.dst;
+  g.aux = graphgen::pragma_vector(*kc.space, cfg, kMaxPragmaSites);
+  return g;
+}
+
+Sample SampleFactory::make(const kir::Kernel& kernel,
+                           const hlssim::DesignConfig& cfg,
+                           const hlssim::HlsResult& result,
+                           const Normalizer& norm) {
+  Sample s;
+  s.kernel = kernel.name;
+  s.graph = featurize(kernel, cfg);
+  s.target = norm.targets(result);
+  s.valid = result.valid;
+  return s;
+}
+
+std::vector<std::size_t> Dataset::all_indices() const {
+  std::vector<std::size_t> out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) out[i] = i;
+  return out;
+}
+
+std::vector<std::size_t> Dataset::valid_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    if (samples[i].valid) out.push_back(i);
+  return out;
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> Dataset::split(
+    std::vector<std::size_t> indices, double train_fraction, util::Rng& rng) {
+  rng.shuffle(indices);
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(indices.size()) * train_fraction);
+  std::vector<std::size_t> train(indices.begin(),
+                                 indices.begin() + static_cast<long>(cut));
+  std::vector<std::size_t> test(indices.begin() + static_cast<long>(cut),
+                                indices.end());
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<std::vector<std::size_t>> Dataset::folds(
+    std::vector<std::size_t> indices, int k, util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("folds: k must be >= 2");
+  rng.shuffle(indices);
+  std::vector<std::vector<std::size_t>> out(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < indices.size(); ++i)
+    out[i % static_cast<std::size_t>(k)].push_back(indices[i]);
+  return out;
+}
+
+Dataset build_dataset(const db::Database& database,
+                      const std::vector<kir::Kernel>& kernels,
+                      const Normalizer& norm, SampleFactory& factory) {
+  std::map<std::string, const kir::Kernel*> by_name;
+  for (const auto& k : kernels) by_name[k.name] = &k;
+
+  Dataset ds;
+  ds.samples.reserve(database.size());
+  for (const auto& p : database.points()) {
+    auto it = by_name.find(p.kernel);
+    if (it == by_name.end())
+      throw std::invalid_argument("build_dataset: unknown kernel " + p.kernel);
+    ds.samples.push_back(factory.make(*it->second, p.config, p.result, norm));
+  }
+  return ds;
+}
+
+}  // namespace gnndse::model

@@ -1,0 +1,84 @@
+// Dataset assembly: database points -> featurized graphs + targets.
+//
+// Per-kernel structures (design space, program graph, edge features) are
+// built once and shared; only node features (pragma fill) differ between
+// design points of the same kernel.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "gnn/batch.hpp"
+#include "graphgen/featurize.hpp"
+#include "graphgen/program_graph.hpp"
+#include "kir/kernel.hpp"
+#include "model/normalizer.hpp"
+#include "util/rng.hpp"
+
+namespace gnndse::model {
+
+/// Maximum pragma sites across the benchmark suite (2mm has 14) — the M1
+/// baseline pads its pragma vector to this.
+inline constexpr int kMaxPragmaSites = 16;
+
+struct Sample {
+  std::string kernel;
+  gnn::GraphData graph;                      // includes aux pragma vector
+  std::array<float, kNumObjectives> target;  // normalized objectives
+  bool valid = false;
+};
+
+/// Caches per-kernel lowering products and featurizes design points.
+class SampleFactory {
+ public:
+  SampleFactory() = default;
+
+  /// Featurizes one (kernel, config) pair; `result` supplies the targets
+  /// (pass a default HlsResult for pure-inference samples).
+  Sample make(const kir::Kernel& kernel, const hlssim::DesignConfig& cfg,
+              const hlssim::HlsResult& result, const Normalizer& norm);
+
+  /// Inference-only featurization (targets zeroed, valid=false).
+  gnn::GraphData featurize(const kir::Kernel& kernel,
+                           const hlssim::DesignConfig& cfg);
+
+  const dspace::DesignSpace& space(const kir::Kernel& kernel);
+  const graphgen::ProgramGraph& graph(const kir::Kernel& kernel);
+
+ private:
+  struct KernelCache {
+    std::unique_ptr<dspace::DesignSpace> space;
+    graphgen::ProgramGraph graph;
+    tensor::Tensor edge_feats;
+    std::vector<std::int32_t> src, dst;
+  };
+  KernelCache& cache_for(const kir::Kernel& kernel);
+
+  std::map<std::string, KernelCache> cache_;
+};
+
+struct Dataset {
+  std::vector<Sample> samples;
+
+  std::vector<std::size_t> all_indices() const;
+  std::vector<std::size_t> valid_indices() const;
+
+  /// Random train/test split (paper: 80/20).
+  static std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+  split(std::vector<std::size_t> indices, double train_fraction,
+        util::Rng& rng);
+
+  /// k-fold partition of the given indices (paper: 3-fold CV).
+  static std::vector<std::vector<std::size_t>> folds(
+      std::vector<std::size_t> indices, int k, util::Rng& rng);
+};
+
+/// Builds the dataset for a whole database.
+Dataset build_dataset(const db::Database& database,
+                      const std::vector<kir::Kernel>& kernels,
+                      const Normalizer& norm, SampleFactory& factory);
+
+}  // namespace gnndse::model

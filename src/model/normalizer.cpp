@@ -1,0 +1,43 @@
+#include "model/normalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnndse::model {
+
+const char* objective_name(int idx) {
+  switch (idx) {
+    case kLatency: return "Latency";
+    case kDsp: return "DSP";
+    case kLut: return "LUT";
+    case kFf: return "FF";
+    case kBram: return "BRAM";
+  }
+  return "?";
+}
+
+Normalizer Normalizer::fit(const std::vector<db::DataPoint>& points) {
+  double max_latency = 1.0;
+  for (const auto& p : points)
+    if (p.result.valid) max_latency = std::max(max_latency, p.result.cycles);
+  return Normalizer(max_latency);
+}
+
+float Normalizer::latency_target(double cycles) const {
+  if (cycles <= 0.0) return 0.0f;
+  const double t = std::log2(norm_factor_ / cycles);
+  return static_cast<float>(std::max(t, 0.0));
+}
+
+double Normalizer::latency_from_target(float t) const {
+  return norm_factor_ / std::exp2(static_cast<double>(t));
+}
+
+std::array<float, kNumObjectives> Normalizer::targets(
+    const hlssim::HlsResult& r) const {
+  return {latency_target(r.cycles), static_cast<float>(r.util_dsp),
+          static_cast<float>(r.util_lut), static_cast<float>(r.util_ff),
+          static_cast<float>(r.util_bram)};
+}
+
+}  // namespace gnndse::model

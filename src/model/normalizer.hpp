@@ -1,0 +1,53 @@
+// Objective pre-processing (paper §5.2.1):
+//   latency:  T = log2(NormalizationFactor / latency)   (eq. 11)
+//   resources: divided by the device capacity (the HlsResult already
+//   carries utilizations).
+// The normalization factor is fitted to the database (max valid latency)
+// so the lowest-performance design maps to T = 0 and high-performance
+// designs get the large target values the loss then emphasizes.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace gnndse::model {
+
+/// Objective order used throughout the model stack.
+enum Objective : int {
+  kLatency = 0,
+  kDsp = 1,
+  kLut = 2,
+  kFf = 3,
+  kBram = 4,
+  kNumObjectives = 5
+};
+
+const char* objective_name(int idx);
+
+class Normalizer {
+ public:
+  /// Fits the latency normalization factor on the valid points of a
+  /// database.
+  static Normalizer fit(const std::vector<db::DataPoint>& points);
+
+  explicit Normalizer(double norm_factor = 1.0) : norm_factor_(norm_factor) {}
+
+  double norm_factor() const { return norm_factor_; }
+
+  /// Latency target T (eq. 11); clamped at 0 for latencies above the
+  /// normalization factor.
+  float latency_target(double cycles) const;
+
+  /// Inverse of latency_target.
+  double latency_from_target(float t) const;
+
+  /// All five normalized objectives in Objective order.
+  std::array<float, kNumObjectives> targets(const hlssim::HlsResult& r) const;
+
+ private:
+  double norm_factor_;
+};
+
+}  // namespace gnndse::model

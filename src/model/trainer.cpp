@@ -1,0 +1,193 @@
+#include "model/trainer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace gnndse::model {
+
+using tensor::Tape;
+using tensor::Tensor;
+using tensor::VarId;
+
+Trainer::Trainer(PredictiveModel& model, TrainOptions opts)
+    : model_(model), opts_(std::move(opts)),
+      adam_(tensor::AdamConfig{.lr = opts_.lr}) {
+  if (opts_.task == Task::kRegression &&
+      static_cast<std::int64_t>(opts_.objectives.size()) !=
+          model_.options().out_dim)
+    throw std::invalid_argument(
+        "Trainer: model out_dim must match the number of objectives");
+  if (opts_.task == Task::kClassification && model_.options().out_dim != 1)
+    throw std::invalid_argument("Trainer: classifier needs out_dim == 1");
+  adam_.register_params(model_.params());
+}
+
+Tensor Trainer::batch_targets(const Dataset& ds,
+                              const std::vector<std::size_t>& idx) const {
+  const std::int64_t out =
+      opts_.task == Task::kClassification
+          ? 1
+          : static_cast<std::int64_t>(opts_.objectives.size());
+  Tensor t({static_cast<std::int64_t>(idx.size()), out});
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const Sample& s = ds.samples[idx[i]];
+    if (opts_.task == Task::kClassification) {
+      t.at(static_cast<std::int64_t>(i), 0) = s.valid ? 1.0f : 0.0f;
+    } else {
+      for (std::size_t o = 0; o < opts_.objectives.size(); ++o)
+        t.at(static_cast<std::int64_t>(i), static_cast<std::int64_t>(o)) =
+            s.target[static_cast<std::size_t>(opts_.objectives[o])];
+    }
+  }
+  return t;
+}
+
+float Trainer::fit(const Dataset& ds,
+                   const std::vector<std::size_t>& train_idx) {
+  util::Rng rng(opts_.seed);
+  std::vector<std::size_t> order = train_idx;
+  float last_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_acc = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(opts_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(opts_.batch_size));
+      std::vector<std::size_t> bidx(order.begin() + static_cast<long>(start),
+                                    order.begin() + static_cast<long>(end));
+      std::vector<const gnn::GraphData*> graphs;
+      graphs.reserve(bidx.size());
+      for (std::size_t i : bidx) graphs.push_back(&ds.samples[i].graph);
+      gnn::GraphBatch batch = gnn::make_batch(graphs);
+      Tensor targets = batch_targets(ds, bidx);
+
+      adam_.zero_grad();
+      Tape tape;
+      VarId pred = model_.forward(tape, batch);
+      VarId loss = opts_.task == Task::kClassification
+                       ? tape.bce_with_logits(pred, targets)
+                       : tape.mse_loss(pred, targets);
+      loss_acc += tape.value(loss).at(0);
+      ++batches;
+      tape.backward(loss);
+      adam_.step();
+    }
+    last_epoch_loss =
+        batches ? static_cast<float>(loss_acc / static_cast<double>(batches))
+                : 0.0f;
+    if (opts_.verbose)
+      util::log_info("epoch ", epoch + 1, "/", opts_.epochs,
+                     " loss=", last_epoch_loss);
+  }
+  return last_epoch_loss;
+}
+
+Tensor Trainer::predict(const Dataset& ds,
+                        const std::vector<std::size_t>& idx) {
+  std::vector<const gnn::GraphData*> graphs;
+  graphs.reserve(idx.size());
+  for (std::size_t i : idx) graphs.push_back(&ds.samples[i].graph);
+  return predict_graphs(graphs);
+}
+
+Tensor Trainer::predict_graphs(
+    const std::vector<const gnn::GraphData*>& graphs) {
+  const std::int64_t out = model_.options().out_dim;
+  Tensor result({static_cast<std::int64_t>(graphs.size()), out});
+  constexpr std::size_t kChunk = 256;
+  for (std::size_t start = 0; start < graphs.size(); start += kChunk) {
+    const std::size_t end = std::min(graphs.size(), start + kChunk);
+    std::vector<const gnn::GraphData*> chunk(
+        graphs.begin() + static_cast<long>(start),
+        graphs.begin() + static_cast<long>(end));
+    gnn::GraphBatch batch = gnn::make_batch(chunk);
+    Tape tape;
+    VarId pred = model_.forward(tape, batch);
+    const Tensor& v = tape.value(pred);
+    std::copy_n(v.data(), v.numel(),
+                result.data() + static_cast<std::int64_t>(start) * out);
+  }
+  return result;
+}
+
+Tensor Trainer::embed_graphs(
+    const std::vector<const gnn::GraphData*>& graphs) {
+  Tensor result;
+  constexpr std::size_t kChunk = 256;
+  for (std::size_t start = 0; start < graphs.size(); start += kChunk) {
+    const std::size_t end = std::min(graphs.size(), start + kChunk);
+    std::vector<const gnn::GraphData*> chunk(
+        graphs.begin() + static_cast<long>(start),
+        graphs.begin() + static_cast<long>(end));
+    gnn::GraphBatch batch = gnn::make_batch(chunk);
+    Tape tape;
+    model_.forward(tape, batch);
+    const Tensor& emb = tape.value(model_.last_graph_embedding());
+    if (result.numel() == 0)
+      result = Tensor({static_cast<std::int64_t>(graphs.size()), emb.cols()});
+    std::copy_n(emb.data(), emb.numel(),
+                result.data() + static_cast<std::int64_t>(start) * emb.cols());
+  }
+  return result;
+}
+
+RegressionMetrics eval_regression(Trainer& trainer, const Dataset& ds,
+                                  const std::vector<std::size_t>& test_idx) {
+  RegressionMetrics m;
+  if (test_idx.empty()) return m;
+  Tensor pred = trainer.predict(ds, test_idx);
+  const auto& objectives = trainer.options().objectives;
+  for (std::size_t o = 0; o < objectives.size(); ++o) {
+    double se = 0.0;
+    for (std::size_t i = 0; i < test_idx.size(); ++i) {
+      const float truth =
+          ds.samples[test_idx[i]]
+              .target[static_cast<std::size_t>(objectives[o])];
+      const float p = pred.at(static_cast<std::int64_t>(i),
+                              static_cast<std::int64_t>(o));
+      se += static_cast<double>(p - truth) * (p - truth);
+    }
+    const float rmse = static_cast<float>(
+        std::sqrt(se / static_cast<double>(test_idx.size())));
+    m.rmse[static_cast<std::size_t>(objectives[o])] = rmse;
+    m.rmse_sum += rmse;
+  }
+  return m;
+}
+
+ClassificationMetrics eval_classification(
+    Trainer& trainer, const Dataset& ds,
+    const std::vector<std::size_t>& test_idx) {
+  ClassificationMetrics m;
+  if (test_idx.empty()) return m;
+  Tensor pred = trainer.predict(ds, test_idx);
+  long tp = 0, fp = 0, tn = 0, fn = 0;
+  for (std::size_t i = 0; i < test_idx.size(); ++i) {
+    const bool predicted = pred.at(static_cast<std::int64_t>(i), 0) > 0.0f;
+    const bool truth = ds.samples[test_idx[i]].valid;
+    if (predicted && truth) ++tp;
+    else if (predicted && !truth) ++fp;
+    else if (!predicted && !truth) ++tn;
+    else ++fn;
+  }
+  m.accuracy = static_cast<float>(tp + tn) /
+               static_cast<float>(test_idx.size());
+  const float denom = static_cast<float>(2 * tp + fp + fn);
+  m.f1 = denom > 0 ? 2.0f * static_cast<float>(tp) / denom : 0.0f;
+  return m;
+}
+
+RegressionMetrics combine(const RegressionMetrics& main,
+                          const RegressionMetrics& bram) {
+  RegressionMetrics out = main;
+  for (std::size_t i = 0; i < out.rmse.size(); ++i)
+    if (bram.rmse[i] > 0.0f) out.rmse[i] = bram.rmse[i];
+  out.rmse_sum = main.rmse_sum + bram.rmse_sum;
+  return out;
+}
+
+}  // namespace gnndse::model

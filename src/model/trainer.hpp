@@ -1,0 +1,83 @@
+// Training and evaluation harness (paper §5.1: Adam, lr 1e-3, 80/20 split,
+// RMSE metric for regression; accuracy and F1 for the validity classifier).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "model/dataset.hpp"
+#include "model/predictive_model.hpp"
+#include "tensor/adam.hpp"
+
+namespace gnndse::model {
+
+enum class Task { kRegression, kClassification };
+
+struct TrainOptions {
+  Task task = Task::kRegression;
+  /// Objective columns (indices into Sample::target) the model predicts;
+  /// ignored for classification. The paper trains one model on
+  /// {latency, DSP, LUT, FF} and a separate one on {BRAM} (§5.2.1).
+  std::vector<int> objectives{kLatency, kDsp, kLut, kFf};
+  int epochs = 30;
+  int batch_size = 32;
+  float lr = 1e-3f;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct RegressionMetrics {
+  /// RMSE per Objective (entries for objectives the model does not predict
+  /// stay 0).
+  std::array<float, kNumObjectives> rmse{};
+  /// Sum over predicted objectives (the paper's "All" column convention).
+  float rmse_sum = 0.0f;
+};
+
+struct ClassificationMetrics {
+  float accuracy = 0.0f;
+  float f1 = 0.0f;
+};
+
+class Trainer {
+ public:
+  Trainer(PredictiveModel& model, TrainOptions opts);
+
+  /// Minibatch training on the given sample indices. Returns the mean
+  /// training loss of the final epoch.
+  float fit(const Dataset& ds, const std::vector<std::size_t>& train_idx);
+
+  /// Raw model outputs, [n, out_dim] (logits for classification).
+  tensor::Tensor predict(const Dataset& ds,
+                         const std::vector<std::size_t>& idx);
+  tensor::Tensor predict_graphs(
+      const std::vector<const gnn::GraphData*>& graphs);
+
+  /// Graph-level embeddings (the encoder output that feeds the MLP head),
+  /// [n, D] — the paper's Fig 6 visualizes these through t-SNE.
+  tensor::Tensor embed_graphs(const std::vector<const gnn::GraphData*>& graphs);
+
+  const TrainOptions& options() const { return opts_; }
+
+ private:
+  tensor::Tensor batch_targets(const Dataset& ds,
+                               const std::vector<std::size_t>& idx) const;
+
+  PredictiveModel& model_;
+  TrainOptions opts_;
+  tensor::Adam adam_;
+};
+
+RegressionMetrics eval_regression(Trainer& trainer, const Dataset& ds,
+                                  const std::vector<std::size_t>& test_idx);
+
+ClassificationMetrics eval_classification(Trainer& trainer, const Dataset& ds,
+                                          const std::vector<std::size_t>& test_idx);
+
+/// Combines two regression models (main objectives + BRAM) into one
+/// five-objective metric row, as the paper reports in Table 2.
+RegressionMetrics combine(const RegressionMetrics& main,
+                          const RegressionMetrics& bram);
+
+}  // namespace gnndse::model

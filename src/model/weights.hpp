@@ -1,0 +1,26 @@
+// Flat binary serialization of model weights, so separate bench binaries
+// can share one trained model bundle instead of retraining.
+//
+// Format: magic, count, then per parameter {rank, dims..., float data}.
+// Loading requires an architecturally-identical model (same parameter
+// shapes in the same order).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tape.hpp"
+
+namespace gnndse::model {
+
+void save_params(const std::vector<tensor::Parameter*>& params,
+                 const std::string& path);
+
+/// Throws std::runtime_error on mismatch or I/O failure.
+void load_params(const std::vector<tensor::Parameter*>& params,
+                 const std::string& path);
+
+/// True when `path` exists and holds a weight file.
+bool weights_exist(const std::string& path);
+
+}  // namespace gnndse::model

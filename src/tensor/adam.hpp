@@ -1,0 +1,52 @@
+// Adam optimizer (Kingma & Ba, 2014) — the paper trains with Adam at
+// learning rate 1e-3 (§5.1).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tape.hpp"
+
+namespace gnndse::tensor {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Holds first/second moment state per registered Parameter and applies
+/// bias-corrected updates. Parameters are registered once and must outlive
+/// the optimizer.
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  void register_param(Parameter& p);
+  void register_params(const std::vector<Parameter*>& ps);
+
+  /// Applies one update from the gradients currently accumulated in each
+  /// parameter's .grad, then leaves the gradients untouched (call
+  /// zero_grad() separately).
+  void step();
+
+  void zero_grad();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  std::size_t num_params() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    Parameter* param;
+    Tensor m;  // first moment
+    Tensor v;  // second moment
+  };
+
+  AdamConfig config_;
+  std::vector<Slot> slots_;
+  long step_count_ = 0;
+};
+
+}  // namespace gnndse::tensor

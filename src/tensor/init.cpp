@@ -1,0 +1,31 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+namespace gnndse::tensor {
+
+Tensor xavier_uniform(std::int64_t fan_in, std::int64_t fan_out,
+                      util::Rng& rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return uniform_init({fan_in, fan_out}, bound, rng);
+}
+
+Tensor kaiming_normal(std::int64_t fan_in, std::int64_t fan_out,
+                      util::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  Tensor t({fan_in, fan_out});
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor uniform_init(std::vector<std::int64_t> shape, float bound,
+                    util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(-bound, bound));
+  return t;
+}
+
+}  // namespace gnndse::tensor

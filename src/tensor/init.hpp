@@ -1,0 +1,21 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace gnndse::tensor {
+
+/// Xavier/Glorot uniform init for a [fan_in, fan_out] weight matrix.
+Tensor xavier_uniform(std::int64_t fan_in, std::int64_t fan_out,
+                      util::Rng& rng);
+
+/// Kaiming/He normal init (for ReLU-family activations).
+Tensor kaiming_normal(std::int64_t fan_in, std::int64_t fan_out,
+                      util::Rng& rng);
+
+/// Uniform in [-bound, bound].
+Tensor uniform_init(std::vector<std::int64_t> shape, float bound,
+                    util::Rng& rng);
+
+}  // namespace gnndse::tensor

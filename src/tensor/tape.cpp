@@ -1,0 +1,620 @@
+#include "tensor/tape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gnndse::tensor {
+
+VarId Tape::push(Tensor value, bool requires_grad,
+                 std::function<void(Tape&)> backward_fn) {
+  auto node = std::make_unique<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->backward_fn = std::move(backward_fn);
+  nodes_.push_back(std::move(node));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+Tensor& Tape::grad_ref(VarId id) {
+  Node& n = *nodes_[id];
+  if (n.grad.numel() == 0) n.grad = Tensor(n.value.shape());
+  return n.grad;
+}
+
+const Tensor& Tape::grad(VarId id) { return grad_ref(id); }
+
+VarId Tape::constant(Tensor v) { return push(std::move(v), false, nullptr); }
+
+VarId Tape::param(Parameter& p) {
+  Parameter* pp = &p;
+  VarId id = push(p.value, true, nullptr);
+  nodes_[id]->backward_fn = [id, pp](Tape& t) {
+    pp->grad.add_(t.grad_ref(id));
+  };
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Dense ops.
+// ---------------------------------------------------------------------------
+
+VarId Tape::matmul(VarId a, VarId b) {
+  Tensor out = tensor::matmul(value(a), value(b));
+  bool rg = wants_grad(a) || wants_grad(b);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, b, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      if (t.wants_grad(a))
+        matmul_acc(g, t.value(b), false, true, t.grad_ref(a));
+      if (t.wants_grad(b))
+        matmul_acc(t.value(a), g, true, false, t.grad_ref(b));
+    };
+  }
+  return id;
+}
+
+VarId Tape::add(VarId a, VarId b) {
+  Tensor out = tensor::add(value(a), value(b));
+  bool rg = wants_grad(a) || wants_grad(b);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, b, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      if (t.wants_grad(a)) t.grad_ref(a).add_(g);
+      if (t.wants_grad(b)) t.grad_ref(b).add_(g);
+    };
+  }
+  return id;
+}
+
+VarId Tape::sub(VarId a, VarId b) {
+  Tensor out = tensor::sub(value(a), value(b));
+  bool rg = wants_grad(a) || wants_grad(b);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, b, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      if (t.wants_grad(a)) t.grad_ref(a).add_(g);
+      if (t.wants_grad(b)) {
+        Tensor& gb = t.grad_ref(b);
+        const float* gp = g.data();
+        float* bp = gb.data();
+        for (std::int64_t i = 0; i < gb.numel(); ++i) bp[i] -= gp[i];
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::mul(VarId a, VarId b) {
+  Tensor out = tensor::mul(value(a), value(b));
+  bool rg = wants_grad(a) || wants_grad(b);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, b, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      if (t.wants_grad(a)) t.grad_ref(a).add_(tensor::mul(g, t.value(b)));
+      if (t.wants_grad(b)) t.grad_ref(b).add_(tensor::mul(g, t.value(a)));
+    };
+  }
+  return id;
+}
+
+VarId Tape::scale(VarId a, float s) {
+  Tensor out = value(a);
+  out.scale_(s);
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, s, id](Tape& t) {
+      Tensor g = t.grad_ref(id);
+      g.scale_(s);
+      t.grad_ref(a).add_(g);
+    };
+  }
+  return id;
+}
+
+VarId Tape::add_rowvec(VarId a, VarId bias) {
+  Tensor out = tensor::add_rowvec(value(a), value(bias));
+  bool rg = wants_grad(a) || wants_grad(bias);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, bias, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      if (t.wants_grad(a)) t.grad_ref(a).add_(g);
+      if (t.wants_grad(bias)) {
+        Tensor& gb = t.grad_ref(bias);
+        const std::int64_t r = g.rows(), c = g.cols();
+        const float* gp = g.data();
+        float* bp = gb.data();
+        for (std::int64_t i = 0; i < r; ++i)
+          for (std::int64_t j = 0; j < c; ++j) bp[j] += gp[i * c + j];
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::concat_cols(const std::vector<VarId>& parts) {
+  std::vector<const Tensor*> vs;
+  vs.reserve(parts.size());
+  bool rg = false;
+  for (VarId p : parts) {
+    vs.push_back(&value(p));
+    rg = rg || wants_grad(p);
+  }
+  Tensor out = tensor::concat_cols(vs);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    std::vector<VarId> ps = parts;
+    nodes_[id]->backward_fn = [ps, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      const std::int64_t r = g.rows(), total_c = g.cols();
+      std::int64_t off = 0;
+      for (VarId p : ps) {
+        const std::int64_t c = t.value(p).cols();
+        if (t.wants_grad(p)) {
+          Tensor& gp = t.grad_ref(p);
+          for (std::int64_t i = 0; i < r; ++i)
+            for (std::int64_t j = 0; j < c; ++j)
+              gp.at(i, j) += g.data()[i * total_c + off + j];
+        }
+        off += c;
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::row_sum(VarId a) {
+  const Tensor& av = value(a);
+  const std::int64_t r = av.rows(), c = av.cols();
+  Tensor out({r, 1});
+  for (std::int64_t i = 0; i < r; ++i) {
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) acc += av.at(i, j);
+    out.at(i, 0) = acc;
+  }
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      Tensor& ga = t.grad_ref(a);
+      const std::int64_t r2 = ga.rows(), c2 = ga.cols();
+      for (std::int64_t i = 0; i < r2; ++i) {
+        const float gi = g.at(i, 0);
+        for (std::int64_t j = 0; j < c2; ++j) ga.at(i, j) += gi;
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::mul_colbcast(VarId col, VarId x) {
+  const Tensor& cv = value(col);
+  const Tensor& xv = value(x);
+  if (cv.rows() != xv.rows() || cv.cols() != 1)
+    throw std::invalid_argument("mul_colbcast: col must be [N,1]");
+  const std::int64_t r = xv.rows(), c = xv.cols();
+  Tensor out({r, c});
+  for (std::int64_t i = 0; i < r; ++i) {
+    const float s = cv.at(i, 0);
+    for (std::int64_t j = 0; j < c; ++j) out.at(i, j) = s * xv.at(i, j);
+  }
+  bool rg = wants_grad(col) || wants_grad(x);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [col, x, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      const Tensor& cv2 = t.value(col);
+      const Tensor& xv2 = t.value(x);
+      const std::int64_t r2 = xv2.rows(), c2 = xv2.cols();
+      if (t.wants_grad(col)) {
+        Tensor& gc = t.grad_ref(col);
+        for (std::int64_t i = 0; i < r2; ++i) {
+          float acc = 0.0f;
+          for (std::int64_t j = 0; j < c2; ++j) acc += g.at(i, j) * xv2.at(i, j);
+          gc.at(i, 0) += acc;
+        }
+      }
+      if (t.wants_grad(x)) {
+        Tensor& gx = t.grad_ref(x);
+        for (std::int64_t i = 0; i < r2; ++i) {
+          const float s = cv2.at(i, 0);
+          for (std::int64_t j = 0; j < c2; ++j) gx.at(i, j) += s * g.at(i, j);
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::select_col(VarId a, std::int64_t c) {
+  const Tensor& av = value(a);
+  if (c < 0 || c >= av.cols())
+    throw std::invalid_argument("select_col: column out of range");
+  const std::int64_t r = av.rows(), cols = av.cols();
+  Tensor out({r, 1});
+  for (std::int64_t i = 0; i < r; ++i) out.at(i, 0) = av.at(i, c);
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, c, cols, id](Tape& t) {
+      (void)cols;
+      const Tensor& g = t.grad_ref(id);
+      Tensor& ga = t.grad_ref(a);
+      for (std::int64_t i = 0; i < g.rows(); ++i) ga.at(i, c) += g.at(i, 0);
+    };
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Nonlinearities.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Fwd>
+Tensor map_unary(const Tensor& in, Fwd f) {
+  Tensor out = in;
+  float* p = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) p[i] = f(p[i]);
+  return out;
+}
+
+}  // namespace
+
+VarId Tape::relu(VarId a) {
+  Tensor out = map_unary(value(a), [](float x) { return x > 0 ? x : 0.0f; });
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      const Tensor& x = t.value(a);
+      Tensor& ga = t.grad_ref(a);
+      for (std::int64_t i = 0; i < x.numel(); ++i)
+        if (x.at(i) > 0) ga.at(i) += g.at(i);
+    };
+  }
+  return id;
+}
+
+VarId Tape::leaky_relu(VarId a, float negative_slope) {
+  const float s = negative_slope;
+  Tensor out = map_unary(value(a), [s](float x) { return x > 0 ? x : s * x; });
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, s, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      const Tensor& x = t.value(a);
+      Tensor& ga = t.grad_ref(a);
+      for (std::int64_t i = 0; i < x.numel(); ++i)
+        ga.at(i) += (x.at(i) > 0 ? 1.0f : s) * g.at(i);
+    };
+  }
+  return id;
+}
+
+VarId Tape::elu(VarId a, float alpha) {
+  Tensor out = map_unary(value(a), [alpha](float x) {
+    return x > 0 ? x : alpha * (std::exp(x) - 1.0f);
+  });
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, alpha, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      const Tensor& x = t.value(a);
+      const Tensor& y = t.value(id);
+      Tensor& ga = t.grad_ref(a);
+      for (std::int64_t i = 0; i < x.numel(); ++i)
+        ga.at(i) += (x.at(i) > 0 ? 1.0f : y.at(i) + alpha) * g.at(i);
+    };
+  }
+  return id;
+}
+
+VarId Tape::sigmoid(VarId a) {
+  Tensor out = map_unary(value(a), [](float x) {
+    // Branch on sign for numerical stability.
+    if (x >= 0) {
+      const float e = std::exp(-x);
+      return 1.0f / (1.0f + e);
+    }
+    const float e = std::exp(x);
+    return e / (1.0f + e);
+  });
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      const Tensor& y = t.value(id);
+      Tensor& ga = t.grad_ref(a);
+      for (std::int64_t i = 0; i < y.numel(); ++i)
+        ga.at(i) += y.at(i) * (1.0f - y.at(i)) * g.at(i);
+    };
+  }
+  return id;
+}
+
+VarId Tape::tanh(VarId a) {
+  Tensor out = map_unary(value(a), [](float x) { return std::tanh(x); });
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      const Tensor& y = t.value(id);
+      Tensor& ga = t.grad_ref(a);
+      for (std::int64_t i = 0; i < y.numel(); ++i)
+        ga.at(i) += (1.0f - y.at(i) * y.at(i)) * g.at(i);
+    };
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Graph primitives.
+// ---------------------------------------------------------------------------
+
+VarId Tape::gather_rows(VarId a, std::vector<std::int32_t> idx) {
+  Tensor out = tensor::gather_rows(value(a), idx);
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    auto idx_sh = std::make_shared<std::vector<std::int32_t>>(std::move(idx));
+    nodes_[id]->backward_fn = [a, idx_sh, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      Tensor& ga = t.grad_ref(a);
+      const std::int64_t c = ga.cols();
+      for (std::size_t i = 0; i < idx_sh->size(); ++i) {
+        const float* src = g.data() + static_cast<std::int64_t>(i) * c;
+        float* dst = ga.data() + static_cast<std::int64_t>((*idx_sh)[i]) * c;
+        for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::scatter_add_rows(VarId a, std::vector<std::int32_t> idx,
+                             std::int64_t num_rows) {
+  Tensor out = tensor::scatter_add_rows(value(a), idx, num_rows);
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    auto idx_sh = std::make_shared<std::vector<std::int32_t>>(std::move(idx));
+    nodes_[id]->backward_fn = [a, idx_sh, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      Tensor& ga = t.grad_ref(a);
+      const std::int64_t c = ga.cols();
+      for (std::size_t i = 0; i < idx_sh->size(); ++i) {
+        const float* src = g.data() + static_cast<std::int64_t>((*idx_sh)[i]) * c;
+        float* dst = ga.data() + static_cast<std::int64_t>(i) * c;
+        for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::segment_softmax(VarId scores, std::vector<std::int32_t> seg,
+                            std::int64_t num_segments) {
+  const Tensor& sv = value(scores);
+  if (sv.cols() != 1 || static_cast<std::int64_t>(seg.size()) != sv.rows())
+    throw std::invalid_argument("segment_softmax: scores must be [E,1]");
+  const std::int64_t e = sv.rows();
+
+  // Forward: max-shifted exp / segment sum.
+  std::vector<float> seg_max(static_cast<std::size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (std::int64_t i = 0; i < e; ++i)
+    seg_max[seg[i]] = std::max(seg_max[seg[i]], sv.at(i, 0));
+  Tensor out({e, 1});
+  std::vector<float> seg_sum(static_cast<std::size_t>(num_segments), 0.0f);
+  for (std::int64_t i = 0; i < e; ++i) {
+    const float v = std::exp(sv.at(i, 0) - seg_max[seg[i]]);
+    out.at(i, 0) = v;
+    seg_sum[seg[i]] += v;
+  }
+  for (std::int64_t i = 0; i < e; ++i) {
+    const float denom = seg_sum[seg[i]];
+    out.at(i, 0) = denom > 0 ? out.at(i, 0) / denom : 0.0f;
+  }
+
+  bool rg = wants_grad(scores);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    auto seg_sh = std::make_shared<std::vector<std::int32_t>>(std::move(seg));
+    nodes_[id]->backward_fn = [scores, seg_sh, num_segments, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      const Tensor& y = t.value(id);
+      Tensor& gs = t.grad_ref(scores);
+      // dx_i = y_i * (g_i - sum_{j in seg(i)} g_j * y_j)
+      std::vector<float> seg_dot(static_cast<std::size_t>(num_segments), 0.0f);
+      const std::int64_t e2 = y.rows();
+      for (std::int64_t i = 0; i < e2; ++i)
+        seg_dot[(*seg_sh)[i]] += g.at(i, 0) * y.at(i, 0);
+      for (std::int64_t i = 0; i < e2; ++i)
+        gs.at(i, 0) += y.at(i, 0) * (g.at(i, 0) - seg_dot[(*seg_sh)[i]]);
+    };
+  }
+  return id;
+}
+
+VarId Tape::max_list(const std::vector<VarId>& parts) {
+  if (parts.empty()) throw std::invalid_argument("max_list: empty input");
+  const Tensor& first = value(parts[0]);
+  Tensor out = first;
+  auto argmax =
+      std::make_shared<std::vector<std::uint16_t>>(first.numel(), 0);
+  bool rg = wants_grad(parts[0]);
+  for (std::size_t k = 1; k < parts.size(); ++k) {
+    const Tensor& v = value(parts[k]);
+    if (!v.same_shape(first))
+      throw std::invalid_argument("max_list: shape mismatch");
+    rg = rg || wants_grad(parts[k]);
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      if (v.at(i) > out.at(i)) {
+        out.at(i) = v.at(i);
+        (*argmax)[i] = static_cast<std::uint16_t>(k);
+      }
+    }
+  }
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    std::vector<VarId> ps = parts;
+    nodes_[id]->backward_fn = [ps, argmax, id](Tape& t) {
+      const Tensor& g = t.grad_ref(id);
+      for (std::int64_t i = 0; i < g.numel(); ++i) {
+        const VarId winner = ps[(*argmax)[i]];
+        if (t.wants_grad(winner)) t.grad_ref(winner).at(i) += g.at(i);
+      }
+    };
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Losses and reductions.
+// ---------------------------------------------------------------------------
+
+VarId Tape::sum_all(VarId a) {
+  Tensor out = Tensor::scalar(value(a).sum());
+  bool rg = wants_grad(a);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id]->backward_fn = [a, id](Tape& t) {
+      const float g = t.grad_ref(id).at(0);
+      Tensor& ga = t.grad_ref(a);
+      for (std::int64_t i = 0; i < ga.numel(); ++i) ga.at(i) += g;
+    };
+  }
+  return id;
+}
+
+VarId Tape::mean_all(VarId a) {
+  const std::int64_t n = value(a).numel();
+  VarId s = sum_all(a);
+  return scale(s, 1.0f / static_cast<float>(n));
+}
+
+VarId Tape::mse_loss(VarId pred, const Tensor& target) {
+  const Tensor& p = value(pred);
+  if (!p.same_shape(target))
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  const std::int64_t n = p.numel();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = p.at(i) - target.at(i);
+    acc += d * d;
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc / n));
+  bool rg = wants_grad(pred);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    auto tgt = std::make_shared<Tensor>(target);
+    nodes_[id]->backward_fn = [pred, tgt, n, id](Tape& t) {
+      const float g = t.grad_ref(id).at(0);
+      const Tensor& p2 = t.value(pred);
+      Tensor& gp = t.grad_ref(pred);
+      const float k = 2.0f * g / static_cast<float>(n);
+      for (std::int64_t i = 0; i < n; ++i)
+        gp.at(i) += k * (p2.at(i) - tgt->at(i));
+    };
+  }
+  return id;
+}
+
+VarId Tape::mse_loss_weighted(VarId pred, const Tensor& target,
+                              const Tensor& w) {
+  const Tensor& p = value(pred);
+  if (!p.same_shape(target) || !p.same_shape(w))
+    throw std::invalid_argument("mse_loss_weighted: shape mismatch");
+  const std::int64_t n = p.numel();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = p.at(i) - target.at(i);
+    acc += w.at(i) * d * d;
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc / n));
+  bool rg = wants_grad(pred);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    auto tgt = std::make_shared<Tensor>(target);
+    auto ww = std::make_shared<Tensor>(w);
+    nodes_[id]->backward_fn = [pred, tgt, ww, n, id](Tape& t) {
+      const float g = t.grad_ref(id).at(0);
+      const Tensor& p2 = t.value(pred);
+      Tensor& gp = t.grad_ref(pred);
+      const float k = 2.0f * g / static_cast<float>(n);
+      for (std::int64_t i = 0; i < n; ++i)
+        gp.at(i) += k * ww->at(i) * (p2.at(i) - tgt->at(i));
+    };
+  }
+  return id;
+}
+
+VarId Tape::bce_with_logits(VarId logits, const Tensor& targets) {
+  const Tensor& z = value(logits);
+  if (!z.same_shape(targets))
+    throw std::invalid_argument("bce_with_logits: shape mismatch");
+  const std::int64_t n = z.numel();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double x = z.at(i), t = targets.at(i);
+    // max(x,0) - x*t + log(1+exp(-|x|)) — numerically stable.
+    acc += std::max(x, 0.0) - x * t + std::log1p(std::exp(-std::abs(x)));
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc / n));
+  bool rg = wants_grad(logits);
+  VarId id = push(std::move(out), rg, nullptr);
+  if (rg) {
+    auto tgt = std::make_shared<Tensor>(targets);
+    nodes_[id]->backward_fn = [logits, tgt, n, id](Tape& t) {
+      const float g = t.grad_ref(id).at(0);
+      const Tensor& z2 = t.value(logits);
+      Tensor& gz = t.grad_ref(logits);
+      const float k = g / static_cast<float>(n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float x = z2.at(i);
+        float sig;
+        if (x >= 0) {
+          const float e = std::exp(-x);
+          sig = 1.0f / (1.0f + e);
+        } else {
+          const float e = std::exp(x);
+          sig = e / (1.0f + e);
+        }
+        gz.at(i) += k * (sig - tgt->at(i));
+      }
+    };
+  }
+  return id;
+}
+
+void Tape::backward(VarId loss) {
+  if (backward_done_)
+    throw std::logic_error("Tape::backward called twice on the same tape");
+  backward_done_ = true;
+  if (value(loss).numel() != 1)
+    throw std::invalid_argument("Tape::backward: loss must be a scalar");
+  grad_ref(loss).fill_(1.0f);
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    Node& n = **it;
+    if (!n.requires_grad || !n.backward_fn) continue;
+    if (n.grad.numel() == 0) continue;  // never touched: no downstream use
+    n.backward_fn(*this);
+  }
+}
+
+}  // namespace gnndse::tensor

@@ -1,0 +1,133 @@
+// Reverse-mode automatic differentiation on a linear tape.
+//
+// A Tape is built fresh for every forward pass (one minibatch of graphs).
+// Ops append nodes in topological order; backward() walks the tape in
+// reverse. Model weights live outside the tape as Parameter objects; a
+// tape leaf created via param() accumulates its gradient back into the
+// Parameter when backward() reaches it.
+//
+// The op set is exactly what the GNN-DSE model needs: dense linear algebra,
+// pointwise nonlinearities, and the graph primitives (gather/scatter by edge
+// index, segment softmax for attention, segment sums for pooling, and an
+// elementwise max over layer outputs for the Jumping Knowledge Network).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gnndse::tensor {
+
+/// A trainable weight: value plus accumulated gradient, updated by Adam.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  explicit Parameter(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill_(0.0f); }
+  std::int64_t numel() const { return value.numel(); }
+};
+
+using VarId = std::int32_t;
+inline constexpr VarId kInvalidVar = -1;
+
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // --- tape construction -------------------------------------------------
+
+  /// Non-differentiable input (e.g. node features).
+  VarId constant(Tensor v);
+
+  /// Differentiable leaf bound to an external Parameter; backward()
+  /// accumulates into p.grad.
+  VarId param(Parameter& p);
+
+  // --- dense ops ----------------------------------------------------------
+
+  VarId matmul(VarId a, VarId b);
+  VarId add(VarId a, VarId b);
+  VarId sub(VarId a, VarId b);
+  VarId mul(VarId a, VarId b);
+  VarId scale(VarId a, float s);
+  /// a[N,F] + bias[F] broadcast over rows.
+  VarId add_rowvec(VarId a, VarId bias);
+  VarId concat_cols(const std::vector<VarId>& parts);
+  /// Row-wise sum: [N,F] -> [N,1].
+  VarId row_sum(VarId a);
+  /// col[N,1] * x[N,F], broadcasting the column.
+  VarId mul_colbcast(VarId col, VarId x);
+  /// Select a single column c of a [N,F] tensor -> [N,1].
+  VarId select_col(VarId a, std::int64_t c);
+
+  // --- nonlinearities ------------------------------------------------------
+
+  VarId relu(VarId a);
+  VarId leaky_relu(VarId a, float negative_slope = 0.2f);
+  VarId elu(VarId a, float alpha = 1.0f);
+  VarId sigmoid(VarId a);
+  VarId tanh(VarId a);
+
+  // --- graph primitives ----------------------------------------------------
+
+  /// out[i,:] = a[idx[i],:]. Backward scatter-adds into a.
+  VarId gather_rows(VarId a, std::vector<std::int32_t> idx);
+  /// out[idx[i],:] += a[i,:], out has num_rows rows.
+  VarId scatter_add_rows(VarId a, std::vector<std::int32_t> idx,
+                         std::int64_t num_rows);
+  /// Softmax of scores[E,1] within segments given by seg[E] (values in
+  /// [0, num_segments)). Standard max-shifted formulation.
+  VarId segment_softmax(VarId scores, std::vector<std::int32_t> seg,
+                        std::int64_t num_segments);
+  /// Elementwise max over same-shape tensors (JKN combine).
+  VarId max_list(const std::vector<VarId>& parts);
+
+  // --- losses (scalar outputs) ---------------------------------------------
+
+  /// Mean squared error against a constant target.
+  VarId mse_loss(VarId pred, const Tensor& target);
+  /// Weighted MSE: mean of w .* (pred-target)^2 (w broadcast per element).
+  VarId mse_loss_weighted(VarId pred, const Tensor& target, const Tensor& w);
+  /// Numerically-stable binary cross-entropy on logits.
+  VarId bce_with_logits(VarId logits, const Tensor& targets);
+  VarId sum_all(VarId a);
+  VarId mean_all(VarId a);
+
+  // --- execution ------------------------------------------------------------
+
+  const Tensor& value(VarId id) const { return nodes_[id]->value; }
+  /// Gradient of a node; valid after backward(). Zero tensor if untouched.
+  const Tensor& grad(VarId id);
+
+  /// Run reverse-mode on a scalar output. May be called once per tape.
+  void backward(VarId loss);
+
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;  // lazily allocated; empty until touched
+    bool requires_grad = false;
+    // Invoked in reverse tape order; reads this->grad, accumulates parents'.
+    std::function<void(Tape&)> backward_fn;
+  };
+
+  VarId push(Tensor value, bool requires_grad,
+             std::function<void(Tape&)> backward_fn);
+  Tensor& grad_ref(VarId id);
+  bool wants_grad(VarId id) const { return nodes_[id]->requires_grad; }
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool backward_done_ = false;
+};
+
+}  // namespace gnndse::tensor

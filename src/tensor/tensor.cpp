@@ -1,0 +1,302 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnndse::tensor {
+namespace {
+
+std::size_t volume(const std::vector<std::int64_t>& shape) {
+  std::size_t v = 1;
+  for (auto d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    v *= static_cast<std::size_t>(d);
+  }
+  return v;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), data_(volume(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != volume(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape");
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+std::int64_t Tensor::rows() const {
+  if (shape_.empty()) return 0;
+  if (shape_.size() == 1) return shape_[0];
+  return shape_[0];
+}
+
+std::int64_t Tensor::cols() const {
+  if (shape_.empty()) return 0;
+  if (shape_.size() == 1) return 1;
+  std::int64_t c = 1;
+  for (std::size_t i = 1; i < shape_.size(); ++i) c *= shape_[i];
+  return c;
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> shape) const {
+  if (static_cast<std::int64_t>(volume(shape)) != numel())
+    throw std::invalid_argument("Tensor::reshaped: volume mismatch");
+  return Tensor(std::move(shape), data_);
+}
+
+void Tensor::add_(const Tensor& other) {
+  if (!same_shape(other))
+    throw std::invalid_argument("Tensor::add_: shape mismatch " + shape_str() +
+                                " vs " + other.shape_str());
+  const float* src = other.data();
+  float* dst = data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Tensor::scale_(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+void Tensor::fill_(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+float Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::runtime_error("Tensor::min on empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::runtime_error("Tensor::max on empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0f;
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) oss << ", ";
+    oss << shape_[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor" << t.shape_str() << " {";
+  const std::int64_t n = std::min<std::int64_t>(t.numel(), 8);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << t.at(i);
+  }
+  if (t.numel() > n) os << ", ...";
+  os << "}";
+  return os;
+}
+
+// ---------------------------------------------------------------------------
+// Matmul.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MatView {
+  const float* p;
+  std::int64_t rows, cols;
+  bool trans;
+  std::int64_t r() const { return trans ? cols : rows; }
+  std::int64_t c() const { return trans ? rows : cols; }
+  float at(std::int64_t i, std::int64_t j) const {
+    return trans ? p[j * cols + i] : p[i * cols + j];
+  }
+};
+
+MatView view2d(const Tensor& t, bool trans) {
+  if (t.rank() != 2)
+    throw std::invalid_argument("matmul requires rank-2 tensors, got " +
+                                t.shape_str());
+  return MatView{t.data(), t.dim(0), t.dim(1), trans};
+}
+
+}  // namespace
+
+void matmul_acc(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                Tensor& out) {
+  MatView av = view2d(a, trans_a);
+  MatView bv = view2d(b, trans_b);
+  const std::int64_t m = av.r(), k = av.c(), n = bv.c();
+  if (bv.r() != k)
+    throw std::invalid_argument("matmul: inner dims mismatch " +
+                                a.shape_str() + " x " + b.shape_str());
+  if (out.rank() != 2 || out.dim(0) != m || out.dim(1) != n)
+    throw std::invalid_argument("matmul_acc: bad output shape");
+
+  float* o = out.data();
+  // Hot layout: A [m,k] row-major, B [k,n] row-major -> i-k-j loop keeps B
+  // row accesses contiguous and vectorizable. Other layouts fall back to a
+  // transposed copy so the hot loop always runs on row-major operands.
+  const float* ap = a.data();
+  const float* bp = b.data();
+  std::vector<float> a_buf, b_buf;
+  if (trans_a) {
+    a_buf.resize(static_cast<std::size_t>(m) * k);
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t x = 0; x < k; ++x) a_buf[i * k + x] = av.at(i, x);
+    ap = a_buf.data();
+  }
+  if (trans_b) {
+    b_buf.resize(static_cast<std::size_t>(k) * n);
+    for (std::int64_t x = 0; x < k; ++x)
+      for (std::int64_t j = 0; j < n; ++j) b_buf[x * n + j] = bv.at(x, j);
+    bp = b_buf.data();
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* orow = o + i * n;
+    const float* arow = ap + i * k;
+    for (std::int64_t x = 0; x < k; ++x) {
+      const float av_ix = arow[x];
+      if (av_ix == 0.0f) continue;
+      const float* brow = bp + x * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av_ix * brow[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  MatView av = view2d(a, trans_a);
+  MatView bv = view2d(b, trans_b);
+  Tensor out({av.r(), bv.c()});
+  matmul_acc(a, b, trans_a, trans_b, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise and structured ops.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  out.add_(b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  const float* bp = b.data();
+  float* op = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) op[i] -= bp[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a;
+  const float* bp = b.data();
+  float* op = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) op[i] *= bp[i];
+  return out;
+}
+
+Tensor add_rowvec(const Tensor& a, const Tensor& bias) {
+  if (bias.numel() != a.cols())
+    throw std::invalid_argument("add_rowvec: bias length != cols");
+  Tensor out = a;
+  const std::int64_t r = a.rows(), c = a.cols();
+  const float* bp = bias.data();
+  float* op = out.data();
+  for (std::int64_t i = 0; i < r; ++i)
+    for (std::int64_t j = 0; j < c; ++j) op[i * c + j] += bp[j];
+  return out;
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<std::int32_t>& idx) {
+  const std::int64_t c = a.cols();
+  Tensor out({static_cast<std::int64_t>(idx.size()), c});
+  const float* ap = a.data();
+  float* op = out.data();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    assert(idx[i] >= 0 && idx[i] < a.rows());
+    std::copy_n(ap + static_cast<std::int64_t>(idx[i]) * c, c,
+                op + static_cast<std::int64_t>(i) * c);
+  }
+  return out;
+}
+
+Tensor scatter_add_rows(const Tensor& a, const std::vector<std::int32_t>& idx,
+                        std::int64_t num_rows) {
+  if (static_cast<std::int64_t>(idx.size()) != a.rows())
+    throw std::invalid_argument("scatter_add_rows: index length != rows");
+  const std::int64_t c = a.cols();
+  Tensor out({num_rows, c});
+  const float* ap = a.data();
+  float* op = out.data();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    assert(idx[i] >= 0 && idx[i] < num_rows);
+    const float* src = ap + static_cast<std::int64_t>(i) * c;
+    float* dst = op + static_cast<std::int64_t>(idx[i]) * c;
+    for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+  }
+  return out;
+}
+
+Tensor concat_cols(const std::vector<const Tensor*>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_cols: empty input");
+  const std::int64_t r = parts[0]->rows();
+  std::int64_t total_c = 0;
+  for (const Tensor* p : parts) {
+    if (p->rows() != r)
+      throw std::invalid_argument("concat_cols: row count mismatch");
+    total_c += p->cols();
+  }
+  Tensor out({r, total_c});
+  float* op = out.data();
+  for (std::int64_t i = 0; i < r; ++i) {
+    std::int64_t off = 0;
+    for (const Tensor* p : parts) {
+      const std::int64_t c = p->cols();
+      std::copy_n(p->data() + i * c, c, op + i * total_c + off);
+      off += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace gnndse::tensor

@@ -1,0 +1,115 @@
+// Dense row-major float32 tensor used throughout the GNN stack.
+//
+// Scope: 1-D and 2-D tensors are the workhorses (node-feature matrices,
+// weight matrices, per-edge score columns). The class stores a flat
+// std::vector<float> with value semantics; all autodiff lives in tape.hpp.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gnndse::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+
+  /// Tensor with explicit contents; data.size() must equal the shape volume.
+  Tensor(std::vector<std::int64_t> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<std::int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor full(std::vector<std::int64_t> shape, float value);
+  static Tensor scalar(float value) { return Tensor({1}, {value}); }
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const {
+    assert(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+
+  /// Rows/cols of a 2-D tensor (rows of a 1-D tensor = numel, cols = 1).
+  std::int64_t rows() const;
+  std::int64_t cols() const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float at(std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+  float& at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * cols() + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * cols() + c)];
+  }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Reshape without copying; new volume must match.
+  Tensor reshaped(std::vector<std::int64_t> shape) const;
+
+  /// In-place accumulation: *this += other (shapes must match).
+  void add_(const Tensor& other);
+  /// In-place scaling: *this *= s.
+  void scale_(float s);
+  /// Set all entries to v.
+  void fill_(float v);
+
+  float sum() const;
+  float min() const;
+  float max() const;
+  float mean() const;
+  /// Frobenius / L2 norm.
+  float norm() const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+// ---------------------------------------------------------------------------
+// Raw (non-autodiff) kernels. The tape ops in tape.cpp call into these for
+// both forward values and gradient accumulation.
+// ---------------------------------------------------------------------------
+
+/// C = op(A) x op(B) where op is optional transpose. Shapes are checked.
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// C += op(A) x op(B) into an existing output (used for grad accumulation).
+void matmul_acc(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                Tensor& out);
+
+/// Elementwise binary ops (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// out[r, :] = a[r, :] + bias[:]  (bias is 1-D of length a.cols()).
+Tensor add_rowvec(const Tensor& a, const Tensor& bias);
+
+/// Gather rows: out[i, :] = a[idx[i], :].
+Tensor gather_rows(const Tensor& a, const std::vector<std::int32_t>& idx);
+
+/// Scatter-add rows: out[idx[i], :] += a[i, :]; out has `num_rows` rows.
+Tensor scatter_add_rows(const Tensor& a, const std::vector<std::int32_t>& idx,
+                        std::int64_t num_rows);
+
+/// Concatenate along columns; all inputs must share the row count.
+Tensor concat_cols(const std::vector<const Tensor*>& parts);
+
+}  // namespace gnndse::tensor

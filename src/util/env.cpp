@@ -1,0 +1,30 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace gnndse::util {
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+RunScale run_scale() {
+  if (env_truthy("GNNDSE_FAST")) return RunScale::kFast;
+  if (env_truthy("GNNDSE_FULL")) return RunScale::kFull;
+  return RunScale::kDefault;
+}
+
+int env_int(const std::string& name, int fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+}  // namespace gnndse::util

@@ -1,0 +1,36 @@
+// Environment-variable driven experiment scaling.
+//
+// All bench binaries honor:
+//   GNNDSE_FAST=1  -- quick smoke configuration (small datasets, few epochs)
+//   GNNDSE_FULL=1  -- full configuration (closest to the paper's scale)
+// The default sits between the two so the whole bench suite finishes in
+// minutes on one CPU core.
+#pragma once
+
+#include <string>
+
+namespace gnndse::util {
+
+enum class RunScale { kFast, kDefault, kFull };
+
+/// Reads GNNDSE_FAST / GNNDSE_FULL (FAST wins if both are set).
+RunScale run_scale();
+
+/// Reads an integer env var, returning `fallback` when unset or malformed.
+int env_int(const std::string& name, int fallback);
+
+/// Picks one of three values by the current run scale.
+template <typename T>
+T by_scale(T fast, T dflt, T full) {
+  switch (run_scale()) {
+    case RunScale::kFast:
+      return fast;
+    case RunScale::kFull:
+      return full;
+    case RunScale::kDefault:
+      break;
+  }
+  return dflt;
+}
+
+}  // namespace gnndse::util

@@ -1,0 +1,39 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+namespace gnndse::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << "[" << level_tag(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace gnndse::util

@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnndse::util {
+
+void Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string Table::fmt_int(long long v) { return std::to_string(v); }
+
+std::string Table::fmt_commas(long long v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::ostringstream oss;
+    oss << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      oss << ' ' << c << std::string(widths[i] - c.size(), ' ') << " |";
+    }
+    oss << '\n';
+    return oss.str();
+  };
+  auto rule = [&widths]() {
+    std::ostringstream oss;
+    oss << "|";
+    for (std::size_t w : widths) oss << std::string(w + 2, '-') << "|";
+    oss << '\n';
+    return oss.str();
+  };
+
+  std::ostringstream oss;
+  if (!title_.empty()) oss << title_ << '\n';
+  if (!header_.empty()) {
+    oss << render_row(header_);
+    oss << rule();
+  }
+  for (const auto& r : rows_) oss << render_row(r);
+  return oss.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  auto write_row = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ',';
+      const std::string& c = cells[i];
+      const bool quote = c.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char ch : c) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << c;
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& r : rows_) write_row(r);
+}
+
+}  // namespace gnndse::util

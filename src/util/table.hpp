@@ -1,0 +1,46 @@
+// ASCII table rendering used by the bench binaries to print the paper's
+// tables (Table 1/2/3) and figure data series in a readable, diffable form.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gnndse::util {
+
+/// A simple column-aligned text table with an optional title.
+///
+///   Table t{"Table 1: ..."};
+///   t.header({"Kernel", "#pragmas", "#configs"});
+///   t.row({"aes", "3", "45"});
+///   t.print(std::cout);
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Number formatting helpers for row construction.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_int(long long v);
+  /// Thousands-separated integer, e.g. 3059001 -> "3,059,001".
+  static std::string fmt_commas(long long v);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Write as CSV (header row first) for downstream plotting.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gnndse::util

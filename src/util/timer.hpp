@@ -1,0 +1,27 @@
+// Wall-clock timing helpers for the DSE time limits and the runtime
+// comparisons in Table 3 / the inference-throughput bench.
+#pragma once
+
+#include <chrono>
+
+namespace gnndse::util {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gnndse::util

@@ -1,0 +1,99 @@
+#include "tensor/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.hpp"
+#include "util/rng.hpp"
+
+namespace gnndse::tensor {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  Parameter p(Tensor({2}, {5.0f, -3.0f}));
+  Adam opt(AdamConfig{.lr = 0.1f});
+  opt.register_param(p);
+  Tensor target({2}, {1.0f, 2.0f});
+  for (int step = 0; step < 500; ++step) {
+    opt.zero_grad();
+    Tape t;
+    VarId loss = t.mse_loss(t.param(p), target);
+    t.backward(loss);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value.at(0), 1.0f, 1e-2f);
+  EXPECT_NEAR(p.value.at(1), 2.0f, 1e-2f);
+}
+
+TEST(Adam, FitsLinearRegression) {
+  // y = X w* + b*, recover w*, b* from 64 samples.
+  util::Rng rng(123);
+  const std::int64_t n = 64, d = 3;
+  Tensor x({n, d});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  Tensor w_true({d, 1}, {2.0f, -1.0f, 0.5f});
+  Tensor y = matmul(x, w_true);
+  for (std::int64_t i = 0; i < n; ++i) y.at(i) += 0.7f;  // bias
+
+  Parameter w(Tensor({d, 1}));
+  Parameter b(Tensor({1}));
+  Adam opt(AdamConfig{.lr = 0.05f});
+  opt.register_params({&w, &b});
+  float final_loss = 1e9f;
+  for (int step = 0; step < 800; ++step) {
+    opt.zero_grad();
+    Tape t;
+    VarId pred = t.add_rowvec(t.matmul(t.constant(x), t.param(w)), t.param(b));
+    VarId loss = t.mse_loss(pred, y);
+    final_loss = t.value(loss).at(0);
+    t.backward(loss);
+    opt.step();
+  }
+  EXPECT_LT(final_loss, 1e-4f);
+  EXPECT_NEAR(w.value.at(0), 2.0f, 0.05f);
+  EXPECT_NEAR(w.value.at(1), -1.0f, 0.05f);
+  EXPECT_NEAR(w.value.at(2), 0.5f, 0.05f);
+  EXPECT_NEAR(b.value.at(0), 0.7f, 0.05f);
+}
+
+TEST(Adam, WeightDecayShrinksUnusedWeights) {
+  Parameter p(Tensor({1}, {1.0f}));
+  Adam opt(AdamConfig{.lr = 0.05f, .weight_decay = 0.1f});
+  opt.register_param(p);
+  for (int step = 0; step < 200; ++step) {
+    opt.zero_grad();  // gradient stays zero; only decay acts
+    opt.step();
+  }
+  EXPECT_LT(std::abs(p.value.at(0)), 0.2f);
+}
+
+TEST(Adam, RegisterCount) {
+  Parameter a(Tensor({1})), b(Tensor({2}));
+  Adam opt;
+  opt.register_params({&a, &b});
+  EXPECT_EQ(opt.num_params(), 2u);
+}
+
+TEST(Init, XavierBoundsRespected) {
+  util::Rng rng(5);
+  Tensor w = xavier_uniform(100, 50, rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  EXPECT_LE(w.max(), bound);
+  EXPECT_GE(w.min(), -bound);
+  EXPECT_NEAR(w.mean(), 0.0f, 0.01f);
+}
+
+TEST(Init, KaimingVariance) {
+  util::Rng rng(6);
+  Tensor w = kaiming_normal(200, 100, rng);
+  double var = 0.0;
+  for (std::int64_t i = 0; i < w.numel(); ++i)
+    var += static_cast<double>(w.at(i)) * w.at(i);
+  var /= w.numel();
+  EXPECT_NEAR(var, 2.0 / 200.0, 2e-3);
+}
+
+}  // namespace
+}  // namespace gnndse::tensor

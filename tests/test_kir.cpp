@@ -1,0 +1,139 @@
+#include "kir/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gnndse::kir {
+namespace {
+
+Kernel two_loop_kernel() {
+  KernelBuilder b("toy");
+  const int arr = b.add_array("a", 64);
+  const int outer = b.begin_loop("i", 16);
+  const int inner = b.begin_loop("j", 8, outer);
+  b.add_stmt(inner, "body", OpMix{.adds = 1},
+             {ArrayAccess{arr, false, AccessKind::kSequential, inner}});
+  auto& li = b.loop(outer);
+  li.can_pipeline = true;
+  auto& lj = b.loop(inner);
+  lj.can_parallel = true;
+  lj.parallel_options = {1, 2, 4, 8};
+  return b.build();
+}
+
+TEST(KernelBuilder, BuildsValidKernel) {
+  Kernel k = two_loop_kernel();
+  EXPECT_EQ(k.name, "toy");
+  ASSERT_EQ(k.loops.size(), 2u);
+  EXPECT_EQ(k.loops[0].children, std::vector<int>{1});
+  EXPECT_EQ(k.loops[1].parent, 0);
+  EXPECT_EQ(k.top_loops, std::vector<int>{0});
+  ASSERT_EQ(k.stmts.size(), 1u);
+  EXPECT_EQ(k.stmts[0].parent_loop, 1);
+}
+
+TEST(Kernel, PragmaSiteCount) {
+  Kernel k = two_loop_kernel();
+  EXPECT_EQ(k.num_pragma_sites(), 2);
+  EXPECT_EQ(k.loops[0].num_pragma_sites(), 1);
+  EXPECT_EQ(k.loops[1].num_pragma_sites(), 1);
+}
+
+TEST(Kernel, DepthAndAncestry) {
+  Kernel k = two_loop_kernel();
+  EXPECT_EQ(k.loop_depth(0), 0);
+  EXPECT_EQ(k.loop_depth(1), 1);
+  EXPECT_TRUE(k.is_ancestor(0, 1));
+  EXPECT_FALSE(k.is_ancestor(1, 0));
+  EXPECT_FALSE(k.is_ancestor(0, 0));
+}
+
+TEST(Kernel, SubtreeAndInnermost) {
+  Kernel k = two_loop_kernel();
+  EXPECT_EQ(k.subtree(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(k.subtree(1), std::vector<int>{1});
+  EXPECT_EQ(k.innermost_loops(), std::vector<int>{1});
+}
+
+TEST(KernelValidate, RejectsZeroTripCount) {
+  KernelBuilder b("bad");
+  b.begin_loop("i", 0);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(KernelValidate, RejectsFactorOverTrip) {
+  KernelBuilder b("bad");
+  const int l = b.begin_loop("i", 4);
+  b.add_stmt(l, "s", OpMix{.adds = 1});
+  auto& loop = b.loop(l);
+  loop.can_parallel = true;
+  loop.parallel_options = {1, 8};  // 8 > trip count 4
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(KernelValidate, RequiresOptionOne) {
+  KernelBuilder b("bad");
+  const int l = b.begin_loop("i", 4);
+  b.add_stmt(l, "s", OpMix{.adds = 1});
+  auto& loop = b.loop(l);
+  loop.can_parallel = true;
+  loop.parallel_options = {2, 4};  // missing the "absent" option 1
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(KernelValidate, RejectsOptionsWithoutSite) {
+  KernelBuilder b("bad");
+  const int l = b.begin_loop("i", 4);
+  b.add_stmt(l, "s", OpMix{.adds = 1});
+  b.loop(l).tile_options = {1, 2};  // can_tile stays false
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(KernelValidate, RejectsBadRecurrence) {
+  KernelBuilder b("bad");
+  const int l = b.begin_loop("i", 4);
+  const int s = b.add_stmt(l, "s", OpMix{.adds = 1});
+  b.set_recurrence(s, l, /*distance=*/0, /*latency=*/3);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(CandidateFactors, DivisorsAndPowersOfTwo) {
+  // 12: divisors <= 8 are 1,2,3,4,6; non-divisor powers of two: 8;
+  // plus the full trip count (12 <= 4*8).
+  auto f = candidate_factors(12, 8);
+  EXPECT_EQ(f, (std::vector<std::int64_t>{1, 2, 3, 4, 6, 8, 12}));
+}
+
+TEST(CandidateFactors, PowersOfTwoOnly) {
+  auto f = candidate_factors(16, 8, /*powers_of_two_only=*/true);
+  EXPECT_EQ(f, (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(CandidateFactors, LargeTripOmitsFullUnroll) {
+  auto f = candidate_factors(400, 64);
+  EXPECT_EQ(std::count(f.begin(), f.end(), 400), 0);
+  EXPECT_TRUE(std::is_sorted(f.begin(), f.end()));
+  for (auto v : f) EXPECT_LE(v, 64);
+}
+
+TEST(CandidateFactors, AlwaysIncludesOne) {
+  for (std::int64_t trip : {2, 3, 7, 10, 100, 499}) {
+    auto f = candidate_factors(trip);
+    ASSERT_FALSE(f.empty());
+    EXPECT_EQ(f.front(), 1);
+  }
+}
+
+TEST(KernelBuilder, MultiFunctionBookkeeping) {
+  KernelBuilder b("multi");
+  const int l0 = b.begin_loop("i", 4);
+  b.add_stmt(l0, "s", OpMix{.adds = 1});
+  b.set_num_functions(2);
+  b.set_loop_function(l0, 1);
+  Kernel k = b.build();
+  EXPECT_EQ(k.function_of_loop(l0), 1);
+}
+
+}  // namespace
+}  // namespace gnndse::kir

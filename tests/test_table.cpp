@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/env.hpp"
+
+namespace gnndse::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{"Demo"};
+  t.header({"Kernel", "N"});
+  t.row({"aes", "45"});
+  t.row({"gemm-ncubed", "7792"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("| aes         |"), std::string::npos);
+  EXPECT_NE(s.find("| gemm-ncubed |"), std::string::npos);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_int(-12), "-12");
+  EXPECT_EQ(Table::fmt_commas(3059001), "3,059,001");
+  EXPECT_EQ(Table::fmt_commas(45), "45");
+  EXPECT_EQ(Table::fmt_commas(-1234), "-1,234");
+  EXPECT_EQ(Table::fmt_commas(0), "0");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({"x,y", "he said \"hi\""});
+  const std::string path = ::testing::TempDir() + "table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, RowCount) {
+  Table t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row({"1"});
+  t.row({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Env, EnvIntFallback) {
+  EXPECT_EQ(env_int("GNNDSE_SURELY_UNSET_VAR_XYZ", 17), 17);
+}
+
+TEST(Env, EnvIntParses) {
+  setenv("GNNDSE_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("GNNDSE_TEST_INT", 0), 42);
+  setenv("GNNDSE_TEST_INT", "not_a_number", 1);
+  EXPECT_EQ(env_int("GNNDSE_TEST_INT", 5), 5);
+  unsetenv("GNNDSE_TEST_INT");
+}
+
+}  // namespace
+}  // namespace gnndse::util

@@ -1,0 +1,279 @@
+// Autodiff correctness: every op's analytic gradient is checked against a
+// central finite difference on a scalar loss.
+#include "tensor/tape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/init.hpp"
+#include "util/rng.hpp"
+
+namespace gnndse::tensor {
+namespace {
+
+// Builds the scalar loss from a parameter via `fwd`, then checks d(loss)/dp
+// element by element against central differences.
+void check_gradient(Parameter& p,
+                    const std::function<VarId(Tape&, VarId)>& fwd,
+                    float eps = 1e-2f, float tol = 2e-2f) {
+  p.zero_grad();
+  {
+    Tape tape;
+    VarId x = tape.param(p);
+    VarId loss = fwd(tape, x);
+    ASSERT_EQ(tape.value(loss).numel(), 1);
+    tape.backward(loss);
+  }
+  for (std::int64_t i = 0; i < p.numel(); ++i) {
+    const float orig = p.value.at(i);
+    p.value.at(i) = orig + eps;
+    float up;
+    {
+      Tape tape;
+      up = tape.value(fwd(tape, tape.param(p))).at(0);
+    }
+    p.value.at(i) = orig - eps;
+    float down;
+    {
+      Tape tape;
+      down = tape.value(fwd(tape, tape.param(p))).at(0);
+    }
+    p.value.at(i) = orig;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(p.grad.at(i), numeric, tol)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+Parameter make_param(std::vector<std::int64_t> shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Parameter(uniform_init(std::move(shape), 1.0f, rng));
+}
+
+TEST(Tape, MatmulGradient) {
+  Parameter p = make_param({3, 2}, 1);
+  Tensor other({2, 4}, {0.5f, -1, 2, 0.1f, 1, 0.3f, -0.7f, 2});
+  check_gradient(p, [&other](Tape& t, VarId x) {
+    VarId b = t.constant(other);
+    return t.sum_all(t.matmul(x, b));
+  });
+}
+
+TEST(Tape, MatmulGradientRightOperand) {
+  Parameter p = make_param({2, 3}, 2);
+  Tensor other({4, 2}, {0.5f, -1, 2, 0.1f, 1, 0.3f, -0.7f, 2});
+  check_gradient(p, [&other](Tape& t, VarId x) {
+    VarId a = t.constant(other);
+    return t.sum_all(t.matmul(a, x));
+  });
+}
+
+TEST(Tape, AddSubMulGradient) {
+  Parameter p = make_param({2, 3}, 3);
+  Tensor other({2, 3}, {1, -2, 0.5f, 3, 0.25f, -1});
+  check_gradient(p, [&other](Tape& t, VarId x) {
+    VarId c = t.constant(other);
+    VarId y = t.mul(t.add(x, c), t.sub(x, c));  // (x+c)*(x-c) = x^2-c^2
+    return t.sum_all(y);
+  });
+}
+
+TEST(Tape, ScaleGradient) {
+  Parameter p = make_param({4}, 4);
+  check_gradient(
+      p, [](Tape& t, VarId x) { return t.sum_all(t.scale(x, -2.5f)); });
+}
+
+TEST(Tape, AddRowvecBiasGradient) {
+  Parameter bias = make_param({3}, 5);
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  check_gradient(bias, [&a](Tape& t, VarId b) {
+    VarId av = t.constant(a);
+    VarId y = t.add_rowvec(av, b);
+    return t.mse_loss(y, Tensor({2, 3}, {0, 0, 0, 1, 1, 1}));
+  });
+}
+
+TEST(Tape, ConcatColsGradient) {
+  Parameter p = make_param({2, 2}, 6);
+  Tensor other({2, 3}, {1, 2, 3, 4, 5, 6});
+  check_gradient(p, [&other](Tape& t, VarId x) {
+    VarId o = t.constant(other);
+    VarId c = t.concat_cols({x, o, x});
+    return t.mse_loss(c, Tensor({2, 7}));
+  });
+}
+
+TEST(Tape, RowSumGradient) {
+  Parameter p = make_param({3, 4}, 7);
+  check_gradient(p, [](Tape& t, VarId x) {
+    return t.mse_loss(t.row_sum(x), Tensor({3, 1}, {1, 2, 3}));
+  });
+}
+
+TEST(Tape, MulColbcastGradientBoth) {
+  Parameter col = make_param({3, 1}, 8);
+  Parameter x = make_param({3, 2}, 9);
+  check_gradient(col, [&x](Tape& t, VarId c) {
+    VarId xv = t.param(x);
+    return t.sum_all(t.mul_colbcast(c, xv));
+  });
+  check_gradient(x, [&col](Tape& t, VarId xv) {
+    VarId c = t.param(col);
+    return t.sum_all(t.mul_colbcast(c, xv));
+  });
+}
+
+TEST(Tape, SelectColGradient) {
+  Parameter p = make_param({3, 3}, 10);
+  check_gradient(p, [](Tape& t, VarId x) {
+    return t.mse_loss(t.select_col(x, 1), Tensor({3, 1}, {0.5f, 0.5f, 0.5f}));
+  });
+}
+
+TEST(Tape, NonlinearityGradients) {
+  for (int which = 0; which < 5; ++which) {
+    Parameter p = make_param({2, 3}, 20 + which);
+    // Nudge away from kink points for relu-family finite differences.
+    for (std::int64_t i = 0; i < p.numel(); ++i)
+      if (std::abs(p.value.at(i)) < 0.1f) p.value.at(i) = 0.3f;
+    check_gradient(p, [which](Tape& t, VarId x) {
+      VarId y;
+      switch (which) {
+        case 0: y = t.relu(x); break;
+        case 1: y = t.leaky_relu(x); break;
+        case 2: y = t.elu(x); break;
+        case 3: y = t.sigmoid(x); break;
+        default: y = t.tanh(x); break;
+      }
+      return t.mse_loss(y, Tensor({2, 3}, {1, 0, 1, 0, 1, 0}));
+    });
+  }
+}
+
+TEST(Tape, GatherRowsGradient) {
+  Parameter p = make_param({4, 2}, 30);
+  check_gradient(p, [](Tape& t, VarId x) {
+    VarId g = t.gather_rows(x, {0, 2, 2, 3});
+    return t.mse_loss(g, Tensor({4, 2}));
+  });
+}
+
+TEST(Tape, ScatterAddRowsGradient) {
+  Parameter p = make_param({4, 2}, 31);
+  check_gradient(p, [](Tape& t, VarId x) {
+    VarId s = t.scatter_add_rows(x, {1, 1, 0, 2}, 3);
+    return t.mse_loss(s, Tensor({3, 2}));
+  });
+}
+
+TEST(Tape, SegmentSoftmaxForward) {
+  Tape t;
+  VarId s = t.constant(Tensor({4, 1}, {1.0f, 1.0f, 2.0f, 0.0f}));
+  VarId y = t.segment_softmax(s, {0, 0, 1, 1}, 2);
+  const Tensor& out = t.value(y);
+  EXPECT_NEAR(out.at(0, 0), 0.5f, 1e-5f);
+  EXPECT_NEAR(out.at(1, 0), 0.5f, 1e-5f);
+  EXPECT_NEAR(out.at(2, 0) + out.at(3, 0), 1.0f, 1e-5f);
+  EXPECT_GT(out.at(2, 0), out.at(3, 0));
+}
+
+TEST(Tape, SegmentSoftmaxGradient) {
+  Parameter p = make_param({5, 1}, 32);
+  check_gradient(p, [](Tape& t, VarId x) {
+    VarId y = t.segment_softmax(x, {0, 0, 1, 1, 1}, 2);
+    // Weighted sum so gradient is not identically zero (softmax sums to 1).
+    return t.mse_loss(y, Tensor({5, 1}, {1, 0, 0.2f, 0.3f, 0.5f}));
+  });
+}
+
+TEST(Tape, MaxListGradient) {
+  Parameter a = make_param({2, 3}, 33);
+  Parameter b = make_param({2, 3}, 34);
+  // Separate the values so finite differences do not flip the argmax.
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a.value.at(i) = (i % 2 == 0) ? 1.0f + 0.1f * i : -1.0f;
+    b.value.at(i) = (i % 2 == 0) ? -1.0f : 1.0f + 0.05f * i;
+  }
+  check_gradient(a, [&b](Tape& t, VarId x) {
+    VarId y = t.max_list({x, t.param(b)});
+    return t.sum_all(y);
+  });
+  check_gradient(b, [&a](Tape& t, VarId x) {
+    VarId y = t.max_list({t.param(a), x});
+    return t.sum_all(y);
+  });
+}
+
+TEST(Tape, MseLossValueAndGradient) {
+  Parameter p(Tensor({2}, {1.0f, 3.0f}));
+  Tensor target({2}, {0.0f, 1.0f});
+  Tape t;
+  VarId loss = t.mse_loss(t.param(p), target);
+  EXPECT_NEAR(t.value(loss).at(0), (1.0f + 4.0f) / 2.0f, 1e-6f);
+  t.backward(loss);
+  EXPECT_NEAR(p.grad.at(0), 2.0f * 1.0f / 2.0f, 1e-5f);
+  EXPECT_NEAR(p.grad.at(1), 2.0f * 2.0f / 2.0f, 1e-5f);
+}
+
+TEST(Tape, WeightedMseGradient) {
+  Parameter p = make_param({3}, 35);
+  Tensor target({3}, {0.1f, 0.2f, 0.3f});
+  Tensor w({3}, {1.0f, 2.0f, 0.5f});
+  check_gradient(p, [&](Tape& t, VarId x) {
+    return t.mse_loss_weighted(x, target, w);
+  });
+}
+
+TEST(Tape, BceWithLogitsGradient) {
+  Parameter p = make_param({4}, 36);
+  Tensor target({4}, {1, 0, 1, 0});
+  check_gradient(
+      p, [&target](Tape& t, VarId x) { return t.bce_with_logits(x, target); });
+}
+
+TEST(Tape, BceWithLogitsStableAtExtremes) {
+  Tape t;
+  VarId z = t.constant(Tensor({2}, {100.0f, -100.0f}));
+  VarId loss = t.bce_with_logits(z, Tensor({2}, {1, 0}));
+  EXPECT_NEAR(t.value(loss).at(0), 0.0f, 1e-5f);
+  Tape t2;
+  VarId z2 = t2.constant(Tensor({2}, {-100.0f, 100.0f}));
+  VarId loss2 = t2.bce_with_logits(z2, Tensor({2}, {1, 0}));
+  EXPECT_NEAR(t2.value(loss2).at(0), 100.0f, 1e-3f);
+}
+
+TEST(Tape, BackwardTwiceThrows) {
+  Parameter p(Tensor({1}, {2.0f}));
+  Tape t;
+  VarId loss = t.sum_all(t.param(p));
+  t.backward(loss);
+  EXPECT_THROW(t.backward(loss), std::logic_error);
+}
+
+TEST(Tape, BackwardRequiresScalar) {
+  Parameter p(Tensor({2}, {1.0f, 2.0f}));
+  Tape t;
+  VarId x = t.param(p);
+  EXPECT_THROW(t.backward(x), std::invalid_argument);
+}
+
+TEST(Tape, ChainedGraphComputation) {
+  // A miniature message-passing round: gather, transform, scatter, pool.
+  Parameter w = make_param({2, 2}, 40);
+  Tensor x({3, 2}, {1, 0, 0, 1, 1, 1});
+  std::vector<std::int32_t> src{0, 1, 2, 2};
+  std::vector<std::int32_t> dst{1, 2, 0, 1};
+  check_gradient(w, [&](Tape& t, VarId wv) {
+    VarId h = t.matmul(t.constant(x), wv);
+    VarId msg = t.gather_rows(h, src);
+    VarId agg = t.scatter_add_rows(msg, dst, 3);
+    VarId act = t.elu(agg);
+    return t.mse_loss(t.row_sum(act), Tensor({3, 1}, {1, 1, 1}));
+  });
+}
+
+}  // namespace
+}  // namespace gnndse::tensor

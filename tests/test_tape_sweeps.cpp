@@ -1,0 +1,158 @@
+// Parameterized property sweeps over the autodiff ops: gradient checks at
+// multiple shapes, and algebraic identities that must hold exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.hpp"
+#include "tensor/tape.hpp"
+#include "util/rng.hpp"
+
+namespace gnndse::tensor {
+namespace {
+
+struct ShapeCase {
+  std::int64_t rows;
+  std::int64_t cols;
+};
+
+class MatmulShapes : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(MatmulShapes, GradientMatchesFiniteDifference) {
+  const auto [m, k] = GetParam();
+  const std::int64_t n = 3;
+  util::Rng rng(m * 100 + k);
+  Parameter a(uniform_init({m, k}, 0.8f, rng));
+  Tensor b = uniform_init({k, n}, 0.8f, rng);
+
+  a.zero_grad();
+  {
+    Tape t;
+    VarId loss = t.mse_loss(t.matmul(t.param(a), t.constant(b)),
+                            Tensor({m, n}));
+    t.backward(loss);
+  }
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(a.numel(), 6); ++i) {
+    const float orig = a.value.at(i);
+    auto eval = [&](float v) {
+      a.value.at(i) = v;
+      Tape t;
+      return t.value(t.mse_loss(t.matmul(t.param(a), t.constant(b)),
+                                Tensor({m, n})))
+          .at(0);
+    };
+    const float up = eval(orig + eps), down = eval(orig - eps);
+    a.value.at(i) = orig;
+    EXPECT_NEAR(a.grad.at(i), (up - down) / (2 * eps), 3e-2f)
+        << "shape " << m << "x" << k << " index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulShapes,
+                         ::testing::Values(ShapeCase{1, 1}, ShapeCase{2, 5},
+                                           ShapeCase{7, 3}, ShapeCase{16, 16},
+                                           ShapeCase{1, 31}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.rows) + "x" +
+                                  std::to_string(info.param.cols);
+                         });
+
+class SegmentSoftmaxSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentSoftmaxSizes, SumsToOnePerSegment) {
+  const int edges = GetParam();
+  util::Rng rng(edges);
+  std::vector<std::int32_t> seg;
+  const int num_segments = std::max(1, edges / 3);
+  for (int i = 0; i < edges; ++i)
+    seg.push_back(static_cast<std::int32_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(num_segments))));
+  Tensor scores({edges, 1});
+  for (int i = 0; i < edges; ++i)
+    scores.at(i) = static_cast<float>(rng.normal(0.0, 3.0));
+
+  Tape t;
+  VarId y = t.segment_softmax(t.constant(scores), seg, num_segments);
+  std::vector<double> sums(static_cast<std::size_t>(num_segments), 0.0);
+  std::vector<int> counts(static_cast<std::size_t>(num_segments), 0);
+  for (int i = 0; i < edges; ++i) {
+    sums[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])] +=
+        t.value(y).at(i, 0);
+    ++counts[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])];
+    EXPECT_GE(t.value(y).at(i, 0), 0.0f);
+  }
+  for (int s = 0; s < num_segments; ++s)
+    if (counts[static_cast<std::size_t>(s)] > 0)
+      EXPECT_NEAR(sums[static_cast<std::size_t>(s)], 1.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SegmentSoftmaxSizes,
+                         ::testing::Values(1, 4, 17, 64, 301));
+
+TEST(TapeAlgebra, MatmulDistributesOverAdd) {
+  // (A + B) C == AC + BC through the tape, bit-for-bit not required but
+  // to float tolerance.
+  util::Rng rng(9);
+  Tensor a = uniform_init({4, 6}, 1.0f, rng);
+  Tensor b = uniform_init({4, 6}, 1.0f, rng);
+  Tensor c = uniform_init({6, 3}, 1.0f, rng);
+  Tape t;
+  VarId lhs = t.matmul(t.add(t.constant(a), t.constant(b)), t.constant(c));
+  VarId rhs = t.add(t.matmul(t.constant(a), t.constant(c)),
+                    t.matmul(t.constant(b), t.constant(c)));
+  for (std::int64_t i = 0; i < t.value(lhs).numel(); ++i)
+    EXPECT_NEAR(t.value(lhs).at(i), t.value(rhs).at(i), 1e-4f);
+}
+
+TEST(TapeAlgebra, GatherOfIdentityIsIdentity) {
+  util::Rng rng(10);
+  Tensor x = uniform_init({5, 3}, 1.0f, rng);
+  Tape t;
+  VarId y = t.gather_rows(t.constant(x), {0, 1, 2, 3, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(t.value(y).at(i), x.at(i));
+}
+
+TEST(TapeAlgebra, ScatterGatherAdjoint) {
+  // <scatter(x), y> == <x, gather(y)> — the defining adjoint relation the
+  // backward passes rely on.
+  util::Rng rng(11);
+  std::vector<std::int32_t> idx{2, 0, 2, 1, 4};
+  Tensor x = uniform_init({5, 2}, 1.0f, rng);
+  Tensor y = uniform_init({6, 2}, 1.0f, rng);
+  Tape t;
+  VarId sx = t.scatter_add_rows(t.constant(x), idx, 6);
+  VarId gy = t.gather_rows(t.constant(y), idx);
+  const Tensor& sxv = t.value(sx);
+  const Tensor& gyv = t.value(gy);
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < sxv.numel(); ++i) lhs += sxv.at(i) * y.at(i);
+  for (std::int64_t i = 0; i < gyv.numel(); ++i) rhs += gyv.at(i) * x.at(i);
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(TapeAlgebra, MaxListIdempotent) {
+  util::Rng rng(12);
+  Tensor x = uniform_init({3, 3}, 1.0f, rng);
+  Tape t;
+  VarId v = t.constant(x);
+  VarId m = t.max_list({v, v, v});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(t.value(m).at(i), x.at(i));
+}
+
+TEST(TapeAlgebra, SigmoidSymmetry) {
+  // sigmoid(-x) == 1 - sigmoid(x)
+  Tensor x({5}, {-4.0f, -1.0f, 0.0f, 2.5f, 7.0f});
+  Tensor nx = x;
+  nx.scale_(-1.0f);
+  Tape t;
+  VarId a = t.sigmoid(t.constant(x));
+  VarId b = t.sigmoid(t.constant(nx));
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(t.value(a).at(i) + t.value(b).at(i), 1.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace gnndse::tensor

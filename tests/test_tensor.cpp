@@ -1,0 +1,142 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnndse::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({4, 5});
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 5);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.shape_str(), "[4, 5]");
+  Tensor v({7});
+  EXPECT_EQ(v.rows(), 7);
+  EXPECT_EQ(v.cols(), 1);
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapeKeepsData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, InPlaceOps) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {3, 4});
+  a.add_(b);
+  EXPECT_EQ(a.at(0), 4.0f);
+  EXPECT_EQ(a.at(1), 6.0f);
+  a.scale_(0.5f);
+  EXPECT_EQ(a.at(0), 2.0f);
+  a.fill_(9.0f);
+  EXPECT_EQ(a.at(1), 9.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {1, -2, 3, 2});
+  EXPECT_FLOAT_EQ(t.sum(), 4.0f);
+  EXPECT_FLOAT_EQ(t.min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.0f);
+  EXPECT_FLOAT_EQ(t.norm(), std::sqrt(1.0f + 4 + 9 + 4));
+}
+
+TEST(TensorOps, MatmulBasic) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  ASSERT_EQ(c.rows(), 2);
+  ASSERT_EQ(c.cols(), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorOps, MatmulTransposeVariants) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  // (A x B)^T == B^T x A^T; check At and Bt paths give consistent results.
+  Tensor at = Tensor({3, 2}, {1, 4, 2, 5, 3, 6});  // A^T stored explicitly
+  Tensor c1 = matmul(a, b);
+  Tensor c2 = matmul(at, b, /*trans_a=*/true);
+  for (std::int64_t i = 0; i < c1.numel(); ++i)
+    EXPECT_FLOAT_EQ(c1.at(i), c2.at(i));
+  Tensor bt = Tensor({2, 3}, {7, 9, 11, 8, 10, 12});  // B^T
+  Tensor c3 = matmul(a, bt, false, /*trans_b=*/true);
+  for (std::int64_t i = 0; i < c1.numel(); ++i)
+    EXPECT_FLOAT_EQ(c1.at(i), c3.at(i));
+}
+
+TEST(TensorOps, MatmulShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({2, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(TensorOps, ElementwiseOps) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {3, 5});
+  EXPECT_FLOAT_EQ(add(a, b).at(1), 7.0f);
+  EXPECT_FLOAT_EQ(sub(a, b).at(0), -2.0f);
+  EXPECT_FLOAT_EQ(mul(a, b).at(1), 10.0f);
+  Tensor c({3});
+  EXPECT_THROW(add(a, c), std::invalid_argument);
+}
+
+TEST(TensorOps, AddRowvec) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor bias({2}, {10, 20});
+  Tensor out = add_rowvec(a, bias);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 24.0f);
+}
+
+TEST(TensorOps, GatherScatterRoundTrip) {
+  Tensor a({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = gather_rows(a, {2, 0, 2});
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+  Tensor s = scatter_add_rows(g, {2, 0, 2}, 3);
+  // Row 2 was gathered twice so it doubles; row 1 untouched.
+  EXPECT_FLOAT_EQ(s.at(2, 0), 10.0f);
+  EXPECT_FLOAT_EQ(s.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 0), 0.0f);
+}
+
+TEST(TensorOps, ConcatCols) {
+  Tensor a({2, 1}, {1, 2});
+  Tensor b({2, 2}, {3, 4, 5, 6});
+  Tensor c = concat_cols({&a, &b});
+  ASSERT_EQ(c.cols(), 3);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 5.0f);
+}
+
+TEST(TensorOps, MatmulAccAccumulates) {
+  Tensor a({1, 2}, {1, 2});
+  Tensor b({2, 1}, {3, 4});
+  Tensor out({1, 1}, {100});
+  matmul_acc(a, b, false, false, out);
+  EXPECT_FLOAT_EQ(out.at(0), 111.0f);
+}
+
+}  // namespace
+}  // namespace gnndse::tensor

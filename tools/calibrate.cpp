@@ -1,0 +1,59 @@
+// Calibration probe: per kernel, sample the design space and report the
+// distribution of simulator outputs (latency range, valid fraction,
+// resource spread, synthesis-time spread). Used during development to keep
+// the substrate's dynamics aligned with the paper's reported ranges
+// (latency 660..12.5M cycles, wide resource spread, nw mostly invalid).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dspace/design_space.hpp"
+#include "hlssim/hls_sim.hpp"
+#include "kernels/kernels.hpp"
+#include "util/rng.hpp"
+
+using namespace gnndse;
+
+int main() {
+  hlssim::MerlinHls hls;
+  util::Rng rng(7);
+  std::vector<std::string> names = kernels::training_kernel_names();
+  for (const auto& n : kernels::unseen_kernel_names()) names.push_back(n);
+
+  std::printf("%-14s %6s %14s %14s | %10s %10s %6s | %8s %8s %8s %8s | %8s\n",
+              "kernel", "#prag", "raw", "pruned", "minLat", "maxLat",
+              "valid%", "maxUdsp", "maxUbram", "maxUlut", "maxUff", "maxSyn");
+  for (const auto& name : names) {
+    kir::Kernel k = kernels::make_kernel(name);
+    dspace::DesignSpace ds(k);
+    const int samples = 400;
+    double min_lat = 1e30, max_lat = 0;
+    double max_udsp = 0, max_ubram = 0, max_ulut = 0, max_uff = 0;
+    double max_syn = 0;
+    int valid = 0;
+    for (int s = 0; s < samples; ++s) {
+      auto cfg = ds.sample(rng);
+      auto r = hls.evaluate(k, cfg);
+      if (!r.valid) continue;
+      ++valid;
+      min_lat = std::min(min_lat, r.cycles);
+      max_lat = std::max(max_lat, r.cycles);
+      max_udsp = std::max(max_udsp, r.util_dsp);
+      max_ubram = std::max(max_ubram, r.util_bram);
+      max_ulut = std::max(max_ulut, r.util_lut);
+      max_uff = std::max(max_uff, r.util_ff);
+      max_syn = std::max(max_syn, r.synth_seconds);
+    }
+    // Also evaluate the neutral (no-pragma) design.
+    auto rn = hls.evaluate(k, hlssim::DesignConfig::neutral(k));
+    std::printf(
+        "%-14s %6d %14llu %14llu | %10.0f %10.0f %5.1f%% | %8.2f %8.2f %8.2f "
+        "%8.2f | %7.0fs  neutral=%.0f%s\n",
+        name.c_str(), k.num_pragma_sites(),
+        static_cast<unsigned long long>(ds.raw_size()),
+        static_cast<unsigned long long>(ds.pruned_size()), min_lat, max_lat,
+        100.0 * valid / samples, max_udsp, max_ubram, max_ulut, max_uff,
+        max_syn, rn.cycles, rn.valid ? "" : " INVALID");
+  }
+  return 0;
+}

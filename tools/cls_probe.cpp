@@ -1,0 +1,43 @@
+// Scratch probe for the validity classifier on nw.
+#include <cstdio>
+
+#include "db/explorer.hpp"
+#include "kernels/kernels.hpp"
+#include "model/trainer.hpp"
+
+using namespace gnndse;
+
+int main(int argc, char** argv) {
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 30;
+  const float lr = argc > 2 ? std::atof(argv[2]) : 1e-3f;
+  hlssim::MerlinHls hls;
+  util::Rng rng(21);
+  auto kernels = std::vector<kir::Kernel>{kernels::make_kernel("nw")};
+  db::Database database = db::generate_initial_database(
+      kernels, hls, rng, [](const std::string&) { return 150; });
+  auto c = database.counts_total();
+  std::printf("db: %zu total, %zu valid\n", c.total, c.valid);
+  model::Normalizer norm = model::Normalizer::fit(database.points());
+  model::SampleFactory f;
+  model::Dataset ds = model::build_dataset(database, kernels, norm, f);
+
+  model::ModelOptions mo;
+  mo.hidden = 32;
+  mo.gnn_layers = 3;
+  mo.out_dim = 1;
+  util::Rng mrng(1);
+  model::PredictiveModel m(mo, mrng);
+  model::TrainOptions to;
+  to.task = model::Task::kClassification;
+  to.epochs = 1;
+  to.lr = lr;
+  model::Trainer tr(m, to);
+  for (int e = 0; e < epochs; ++e) {
+    float loss = tr.fit(ds, ds.all_indices());
+    auto metrics = model::eval_classification(tr, ds, ds.all_indices());
+    if (e % 5 == 4 || e == 0)
+      std::printf("epoch %2d loss=%.4f acc=%.3f f1=%.3f\n", e + 1, loss,
+                  metrics.accuracy, metrics.f1);
+  }
+  return 0;
+}

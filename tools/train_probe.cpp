@@ -1,0 +1,79 @@
+// End-to-end training probe: initial database -> dataset -> M7 model.
+// Reports loss trajectory, test RMSE per objective, classification quality
+// and wall-clock per epoch. Development harness for learning-rate /
+// capacity calibration.
+#include <cstdio>
+
+#include "db/explorer.hpp"
+#include "kernels/kernels.hpp"
+#include "model/trainer.hpp"
+#include "util/timer.hpp"
+
+using namespace gnndse;
+
+int main(int argc, char** argv) {
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 10;
+  const std::int64_t hidden = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  util::Timer total;
+  hlssim::MerlinHls hls;
+  util::Rng rng(42);
+  auto kernels = kernels::make_training_kernels();
+
+  util::Timer t_db;
+  db::Database database = db::generate_initial_database(kernels, hls, rng);
+  auto counts = database.counts_total();
+  std::printf("database: %zu points (%zu valid) in %.1fs\n", counts.total,
+              counts.valid, t_db.seconds());
+
+  model::Normalizer norm = model::Normalizer::fit(database.points());
+  std::printf("latency norm factor: %.0f\n", norm.norm_factor());
+
+  util::Timer t_ds;
+  model::SampleFactory factory;
+  model::Dataset ds = model::build_dataset(database, kernels, norm, factory);
+  std::printf("dataset: %zu samples in %.1fs\n", ds.samples.size(),
+              t_ds.seconds());
+  // Graph size stats.
+  std::int64_t nmin = 1 << 30, nmax = 0, ntot = 0;
+  for (auto& s : ds.samples) {
+    nmin = std::min(nmin, s.graph.x.rows());
+    nmax = std::max(nmax, s.graph.x.rows());
+    ntot += s.graph.x.rows();
+  }
+  std::printf("graph nodes: min %lld max %lld avg %.1f\n",
+              static_cast<long long>(nmin), static_cast<long long>(nmax),
+              static_cast<double>(ntot) / ds.samples.size());
+
+  util::Rng split_rng(7);
+  auto [train_valid, test_valid] =
+      model::Dataset::split(ds.valid_indices(), 0.8, split_rng);
+  std::printf("regression train/test: %zu/%zu\n", train_valid.size(),
+              test_valid.size());
+
+  model::ModelOptions mopts;
+  mopts.kind = model::ModelKind::kM7Full;
+  mopts.hidden = hidden;
+  util::Rng mrng(1);
+  model::PredictiveModel m(mopts, mrng);
+  std::printf("model weights: %lld\n",
+              static_cast<long long>(m.num_weights()));
+
+  model::TrainOptions topts;
+  topts.epochs = 1;
+  topts.verbose = false;
+  model::Trainer trainer(m, topts);
+  for (int e = 0; e < epochs; ++e) {
+    util::Timer te;
+    float loss = trainer.fit(ds, train_valid);
+    auto metrics = model::eval_regression(trainer, ds, test_valid);
+    std::printf(
+        "epoch %2d  loss=%.4f  test RMSE lat=%.3f dsp=%.3f lut=%.3f ff=%.3f "
+        "(%.1fs)\n",
+        e + 1, loss, metrics.rmse[model::kLatency], metrics.rmse[model::kDsp],
+        metrics.rmse[model::kLut], metrics.rmse[model::kFf], te.seconds());
+  }
+
+  std::printf("total %.1fs\n", total.seconds());
+  return 0;
+}
