@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_attention.dir/bench_fig5_attention.cpp.o"
+  "CMakeFiles/bench_fig5_attention.dir/bench_fig5_attention.cpp.o.d"
+  "bench_fig5_attention"
+  "bench_fig5_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

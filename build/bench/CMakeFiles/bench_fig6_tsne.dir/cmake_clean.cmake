@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tsne.dir/bench_fig6_tsne.cpp.o"
+  "CMakeFiles/bench_fig6_tsne.dir/bench_fig6_tsne.cpp.o.d"
+  "bench_fig6_tsne"
+  "bench_fig6_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

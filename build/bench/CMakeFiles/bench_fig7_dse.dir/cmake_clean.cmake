@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dse.dir/bench_fig7_dse.cpp.o"
+  "CMakeFiles/bench_fig7_dse.dir/bench_fig7_dse.cpp.o.d"
+  "bench_fig7_dse"
+  "bench_fig7_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_database.dir/explore_database.cpp.o"
+  "CMakeFiles/explore_database.dir/explore_database.cpp.o.d"
+  "explore_database"
+  "explore_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_unseen_kernel.dir/optimize_unseen_kernel.cpp.o"
+  "CMakeFiles/optimize_unseen_kernel.dir/optimize_unseen_kernel.cpp.o.d"
+  "optimize_unseen_kernel"
+  "optimize_unseen_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_unseen_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_tradeoffs.dir/pareto_tradeoffs.cpp.o"
+  "CMakeFiles/pareto_tradeoffs.dir/pareto_tradeoffs.cpp.o.d"
+  "pareto_tradeoffs"
+  "pareto_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/calibrate.cpp" "src/CMakeFiles/calibrate.dir/__/tools/calibrate.cpp.o" "gcc" "src/CMakeFiles/calibrate.dir/__/tools/calibrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dspace/CMakeFiles/gnndse_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gnndse_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlssim/CMakeFiles/gnndse_hlssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/gnndse_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gnndse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

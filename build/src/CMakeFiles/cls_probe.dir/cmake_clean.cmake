@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cls_probe.dir/__/tools/cls_probe.cpp.o"
+  "CMakeFiles/cls_probe.dir/__/tools/cls_probe.cpp.o.d"
+  "cls_probe"
+  "cls_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cls_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_probe.dir/__/tools/train_probe.cpp.o"
+  "CMakeFiles/train_probe.dir/__/tools/train_probe.cpp.o.d"
+  "train_probe"
+  "train_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("kir")
+subdirs("kernels")
+subdirs("hlssim")
+subdirs("dspace")
+subdirs("graphgen")
+subdirs("gnn")
+subdirs("db")
+subdirs("model")
+subdirs("dse")
+subdirs("analysis")
+subdirs("cli")

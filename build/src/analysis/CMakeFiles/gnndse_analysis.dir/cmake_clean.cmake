@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_analysis.dir/attention.cpp.o"
+  "CMakeFiles/gnndse_analysis.dir/attention.cpp.o.d"
+  "CMakeFiles/gnndse_analysis.dir/pareto.cpp.o"
+  "CMakeFiles/gnndse_analysis.dir/pareto.cpp.o.d"
+  "CMakeFiles/gnndse_analysis.dir/tsne.cpp.o"
+  "CMakeFiles/gnndse_analysis.dir/tsne.cpp.o.d"
+  "libgnndse_analysis.a"
+  "libgnndse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse.dir/main.cpp.o"
+  "CMakeFiles/gnndse.dir/main.cpp.o.d"
+  "gnndse"
+  "gnndse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_cli_args.dir/args.cpp.o"
+  "CMakeFiles/gnndse_cli_args.dir/args.cpp.o.d"
+  "libgnndse_cli_args.a"
+  "libgnndse_cli_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_cli_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

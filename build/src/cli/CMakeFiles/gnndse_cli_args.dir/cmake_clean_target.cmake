@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnndse_cli_args.a"
+)

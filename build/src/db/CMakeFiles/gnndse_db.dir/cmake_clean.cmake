@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_db.dir/database.cpp.o"
+  "CMakeFiles/gnndse_db.dir/database.cpp.o.d"
+  "CMakeFiles/gnndse_db.dir/explorer.cpp.o"
+  "CMakeFiles/gnndse_db.dir/explorer.cpp.o.d"
+  "libgnndse_db.a"
+  "libgnndse_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

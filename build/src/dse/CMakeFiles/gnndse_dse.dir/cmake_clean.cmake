@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_dse.dir/dse.cpp.o"
+  "CMakeFiles/gnndse_dse.dir/dse.cpp.o.d"
+  "CMakeFiles/gnndse_dse.dir/pipeline.cpp.o"
+  "CMakeFiles/gnndse_dse.dir/pipeline.cpp.o.d"
+  "libgnndse_dse.a"
+  "libgnndse_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_dspace.dir/design_space.cpp.o"
+  "CMakeFiles/gnndse_dspace.dir/design_space.cpp.o.d"
+  "libgnndse_dspace.a"
+  "libgnndse_dspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_dspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/batch.cpp" "src/gnn/CMakeFiles/gnndse_gnn.dir/batch.cpp.o" "gcc" "src/gnn/CMakeFiles/gnndse_gnn.dir/batch.cpp.o.d"
+  "/root/repo/src/gnn/conv.cpp" "src/gnn/CMakeFiles/gnndse_gnn.dir/conv.cpp.o" "gcc" "src/gnn/CMakeFiles/gnndse_gnn.dir/conv.cpp.o.d"
+  "/root/repo/src/gnn/layers.cpp" "src/gnn/CMakeFiles/gnndse_gnn.dir/layers.cpp.o" "gcc" "src/gnn/CMakeFiles/gnndse_gnn.dir/layers.cpp.o.d"
+  "/root/repo/src/gnn/pool.cpp" "src/gnn/CMakeFiles/gnndse_gnn.dir/pool.cpp.o" "gcc" "src/gnn/CMakeFiles/gnndse_gnn.dir/pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gnndse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gnndse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

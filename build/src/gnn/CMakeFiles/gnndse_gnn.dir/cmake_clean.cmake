@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_gnn.dir/batch.cpp.o"
+  "CMakeFiles/gnndse_gnn.dir/batch.cpp.o.d"
+  "CMakeFiles/gnndse_gnn.dir/conv.cpp.o"
+  "CMakeFiles/gnndse_gnn.dir/conv.cpp.o.d"
+  "CMakeFiles/gnndse_gnn.dir/layers.cpp.o"
+  "CMakeFiles/gnndse_gnn.dir/layers.cpp.o.d"
+  "CMakeFiles/gnndse_gnn.dir/pool.cpp.o"
+  "CMakeFiles/gnndse_gnn.dir/pool.cpp.o.d"
+  "libgnndse_gnn.a"
+  "libgnndse_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

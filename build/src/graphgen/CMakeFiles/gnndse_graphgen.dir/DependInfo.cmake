@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphgen/dot_export.cpp" "src/graphgen/CMakeFiles/gnndse_graphgen.dir/dot_export.cpp.o" "gcc" "src/graphgen/CMakeFiles/gnndse_graphgen.dir/dot_export.cpp.o.d"
+  "/root/repo/src/graphgen/featurize.cpp" "src/graphgen/CMakeFiles/gnndse_graphgen.dir/featurize.cpp.o" "gcc" "src/graphgen/CMakeFiles/gnndse_graphgen.dir/featurize.cpp.o.d"
+  "/root/repo/src/graphgen/json_export.cpp" "src/graphgen/CMakeFiles/gnndse_graphgen.dir/json_export.cpp.o" "gcc" "src/graphgen/CMakeFiles/gnndse_graphgen.dir/json_export.cpp.o.d"
+  "/root/repo/src/graphgen/program_graph.cpp" "src/graphgen/CMakeFiles/gnndse_graphgen.dir/program_graph.cpp.o" "gcc" "src/graphgen/CMakeFiles/gnndse_graphgen.dir/program_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dspace/CMakeFiles/gnndse_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnndse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlssim/CMakeFiles/gnndse_hlssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/gnndse_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gnndse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

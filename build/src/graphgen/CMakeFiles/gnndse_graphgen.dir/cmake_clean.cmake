@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_graphgen.dir/dot_export.cpp.o"
+  "CMakeFiles/gnndse_graphgen.dir/dot_export.cpp.o.d"
+  "CMakeFiles/gnndse_graphgen.dir/featurize.cpp.o"
+  "CMakeFiles/gnndse_graphgen.dir/featurize.cpp.o.d"
+  "CMakeFiles/gnndse_graphgen.dir/json_export.cpp.o"
+  "CMakeFiles/gnndse_graphgen.dir/json_export.cpp.o.d"
+  "CMakeFiles/gnndse_graphgen.dir/program_graph.cpp.o"
+  "CMakeFiles/gnndse_graphgen.dir/program_graph.cpp.o.d"
+  "libgnndse_graphgen.a"
+  "libgnndse_graphgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hlssim/config.cpp" "src/hlssim/CMakeFiles/gnndse_hlssim.dir/config.cpp.o" "gcc" "src/hlssim/CMakeFiles/gnndse_hlssim.dir/config.cpp.o.d"
+  "/root/repo/src/hlssim/hls_sim.cpp" "src/hlssim/CMakeFiles/gnndse_hlssim.dir/hls_sim.cpp.o" "gcc" "src/hlssim/CMakeFiles/gnndse_hlssim.dir/hls_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kir/CMakeFiles/gnndse_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gnndse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_hlssim.dir/config.cpp.o"
+  "CMakeFiles/gnndse_hlssim.dir/config.cpp.o.d"
+  "CMakeFiles/gnndse_hlssim.dir/hls_sim.cpp.o"
+  "CMakeFiles/gnndse_hlssim.dir/hls_sim.cpp.o.d"
+  "libgnndse_hlssim.a"
+  "libgnndse_hlssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_hlssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_kernels.dir/kernels.cpp.o"
+  "CMakeFiles/gnndse_kernels.dir/kernels.cpp.o.d"
+  "CMakeFiles/gnndse_kernels.dir/kernels_extension.cpp.o"
+  "CMakeFiles/gnndse_kernels.dir/kernels_extension.cpp.o.d"
+  "libgnndse_kernels.a"
+  "libgnndse_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_kir.dir/kernel.cpp.o"
+  "CMakeFiles/gnndse_kir.dir/kernel.cpp.o.d"
+  "libgnndse_kir.a"
+  "libgnndse_kir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_kir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_model.dir/dataset.cpp.o"
+  "CMakeFiles/gnndse_model.dir/dataset.cpp.o.d"
+  "CMakeFiles/gnndse_model.dir/normalizer.cpp.o"
+  "CMakeFiles/gnndse_model.dir/normalizer.cpp.o.d"
+  "CMakeFiles/gnndse_model.dir/predictive_model.cpp.o"
+  "CMakeFiles/gnndse_model.dir/predictive_model.cpp.o.d"
+  "CMakeFiles/gnndse_model.dir/trainer.cpp.o"
+  "CMakeFiles/gnndse_model.dir/trainer.cpp.o.d"
+  "CMakeFiles/gnndse_model.dir/weights.cpp.o"
+  "CMakeFiles/gnndse_model.dir/weights.cpp.o.d"
+  "libgnndse_model.a"
+  "libgnndse_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/adam.cpp" "src/tensor/CMakeFiles/gnndse_tensor.dir/adam.cpp.o" "gcc" "src/tensor/CMakeFiles/gnndse_tensor.dir/adam.cpp.o.d"
+  "/root/repo/src/tensor/init.cpp" "src/tensor/CMakeFiles/gnndse_tensor.dir/init.cpp.o" "gcc" "src/tensor/CMakeFiles/gnndse_tensor.dir/init.cpp.o.d"
+  "/root/repo/src/tensor/tape.cpp" "src/tensor/CMakeFiles/gnndse_tensor.dir/tape.cpp.o" "gcc" "src/tensor/CMakeFiles/gnndse_tensor.dir/tape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/gnndse_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/gnndse_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gnndse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

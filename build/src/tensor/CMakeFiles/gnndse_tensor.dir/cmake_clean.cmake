@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_tensor.dir/adam.cpp.o"
+  "CMakeFiles/gnndse_tensor.dir/adam.cpp.o.d"
+  "CMakeFiles/gnndse_tensor.dir/init.cpp.o"
+  "CMakeFiles/gnndse_tensor.dir/init.cpp.o.d"
+  "CMakeFiles/gnndse_tensor.dir/tape.cpp.o"
+  "CMakeFiles/gnndse_tensor.dir/tape.cpp.o.d"
+  "CMakeFiles/gnndse_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/gnndse_tensor.dir/tensor.cpp.o.d"
+  "libgnndse_tensor.a"
+  "libgnndse_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

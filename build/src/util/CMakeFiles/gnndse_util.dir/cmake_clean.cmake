@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnndse_util.dir/env.cpp.o"
+  "CMakeFiles/gnndse_util.dir/env.cpp.o.d"
+  "CMakeFiles/gnndse_util.dir/logging.cpp.o"
+  "CMakeFiles/gnndse_util.dir/logging.cpp.o.d"
+  "CMakeFiles/gnndse_util.dir/rng.cpp.o"
+  "CMakeFiles/gnndse_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gnndse_util.dir/table.cpp.o"
+  "CMakeFiles/gnndse_util.dir/table.cpp.o.d"
+  "libgnndse_util.a"
+  "libgnndse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnndse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

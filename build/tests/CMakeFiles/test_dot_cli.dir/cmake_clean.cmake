@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dot_cli.dir/test_dot_cli.cpp.o"
+  "CMakeFiles/test_dot_cli.dir/test_dot_cli.cpp.o.d"
+  "test_dot_cli"
+  "test_dot_cli.pdb"
+  "test_dot_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dspace.dir/test_dspace.cpp.o"
+  "CMakeFiles/test_dspace.dir/test_dspace.cpp.o.d"
+  "test_dspace"
+  "test_dspace.pdb"
+  "test_dspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnn.dir/test_gnn.cpp.o"
+  "CMakeFiles/test_gnn.dir/test_gnn.cpp.o.d"
+  "test_gnn"
+  "test_gnn.pdb"
+  "test_gnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphgen.dir/test_graphgen.cpp.o"
+  "CMakeFiles/test_graphgen.dir/test_graphgen.cpp.o.d"
+  "test_graphgen"
+  "test_graphgen.pdb"
+  "test_graphgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hlssim.dir/test_hlssim.cpp.o"
+  "CMakeFiles/test_hlssim.dir/test_hlssim.cpp.o.d"
+  "test_hlssim"
+  "test_hlssim.pdb"
+  "test_hlssim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hlssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

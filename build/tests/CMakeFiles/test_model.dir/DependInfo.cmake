@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/test_model.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/test_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dse/CMakeFiles/gnndse_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gnndse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/gnndse_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/gnndse_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphgen/CMakeFiles/gnndse_graphgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gnndse_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dspace/CMakeFiles/gnndse_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlssim/CMakeFiles/gnndse_hlssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gnndse_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/gnndse_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnndse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gnndse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tape_sweeps.dir/test_tape_sweeps.cpp.o"
+  "CMakeFiles/test_tape_sweeps.dir/test_tape_sweeps.cpp.o.d"
+  "test_tape_sweeps"
+  "test_tape_sweeps.pdb"
+  "test_tape_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tape_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
