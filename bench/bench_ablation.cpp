@@ -15,7 +15,6 @@
 #include "dse/dse.hpp"
 #include "model/trainer.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace gnndse;
 
@@ -41,8 +40,9 @@ model::RegressionMetrics train_and_eval(
 }  // namespace
 
 int main() {
-  util::Timer timer;
+  auto session = bench::make_report_session("bench_ablation");
   hlssim::MerlinHls hls;
+  hls.set_cache_capacity(bench::kHlsCacheEntries);
   auto kernels = kernels::make_training_kernels();
   db::Database database = bench::make_initial_database(hls);
   model::Normalizer norm = model::Normalizer::fit(database.points());
@@ -134,6 +134,6 @@ int main() {
   a3.print(std::cout);
 
   std::printf("\n[bench_ablation] completed in %.1fs (scale: %s)\n",
-              timer.seconds(), bench::scale_tag());
+              session.seconds(), bench::scale_tag());
   return 0;
 }

@@ -11,10 +11,26 @@
 #include "db/explorer.hpp"
 #include "dse/pipeline.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/report.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace gnndse::bench {
+
+/// Telemetry session shared by every bench binary: when GNNDSE_REPORT names
+/// a path, metrics/span recording is enabled, the root `pipeline` span is
+/// opened, and a JSON run report is written there on exit. The session also
+/// serves as the binary's run stopwatch (session.seconds()), replacing the
+/// bare util::Timer the benches used to carry.
+inline obs::ReportSession make_report_session(const std::string& tool) {
+  return obs::ReportSession(tool, util::env_str(obs::kReportEnvVar));
+}
+
+/// HLS-substrate memo-cache bound for bench runs: DSE rounds and fallback
+/// batches re-evaluate repeated configs, and the cache turns those into
+/// hlssim.cache_hits. Microbenchmarks that time the evaluator itself
+/// should construct their own uncached MerlinHls instead.
+inline constexpr std::size_t kHlsCacheEntries = 1 << 18;
 
 inline constexpr std::uint64_t kDbSeed = 42;
 

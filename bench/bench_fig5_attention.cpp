@@ -12,13 +12,13 @@
 #include "analysis/attention.hpp"
 #include "bench_common.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace gnndse;
 
 int main() {
-  util::Timer timer;
+  auto session = bench::make_report_session("bench_fig5_attention");
   hlssim::MerlinHls hls;
+  hls.set_cache_capacity(bench::kHlsCacheEntries);
   auto kernels = kernels::make_training_kernels();
   db::Database database = bench::make_initial_database(hls);
   model::SampleFactory factory;
@@ -58,6 +58,6 @@ int main() {
       share > uniform_share ? "pragma nodes are over-attended, as in Fig 5"
                             : "no pragma over-attention at this scale");
   std::printf("[bench_fig5_attention] completed in %.1fs (scale: %s)\n",
-              timer.seconds(), bench::scale_tag());
+              session.seconds(), bench::scale_tag());
   return 0;
 }

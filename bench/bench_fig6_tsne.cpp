@@ -15,13 +15,13 @@
 #include "analysis/tsne.hpp"
 #include "bench_common.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace gnndse;
 
 int main() {
-  util::Timer timer;
+  auto session = bench::make_report_session("bench_fig6_tsne");
   hlssim::MerlinHls hls;
+  hls.set_cache_capacity(bench::kHlsCacheEntries);
   auto kernels = kernels::make_training_kernels();
   db::Database database = bench::make_initial_database(hls);
   model::SampleFactory factory;
@@ -100,6 +100,6 @@ int main() {
       "clustering-by-latency)\nscatter data written to fig6_tsne.csv\n",
       spread_learned / std::max(1e-9, spread_initial));
   std::printf("[bench_fig6_tsne] completed in %.1fs (scale: %s)\n",
-              timer.seconds(), bench::scale_tag());
+              session.seconds(), bench::scale_tag());
   return 0;
 }

@@ -11,13 +11,13 @@
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace gnndse;
 
 int main() {
-  util::Timer timer;
+  auto session = bench::make_report_session("bench_fig7_dse");
   hlssim::MerlinHls hls;
+  hls.set_cache_capacity(bench::kHlsCacheEntries);
   auto kernels = kernels::make_training_kernels();
   db::Database initial = bench::make_initial_database(hls);
 
@@ -59,6 +59,6 @@ int main() {
   std::printf("\npaper averages: DSE1 0.71x, DSE2 0.82x, DSE3 1.02x, DSE4 "
               "1.23x (>=1x after 3 rounds)\n");
   std::printf("[bench_fig7_dse] completed in %.1fs (scale: %s)\n",
-              timer.seconds(), bench::scale_tag());
+              session.seconds(), bench::scale_tag());
   return 0;
 }

@@ -12,6 +12,8 @@ using namespace gnndse;
 namespace {
 
 struct Fixture {
+  // Deliberately uncached: BM_HlsEvaluation times the evaluator itself,
+  // not the memo cache the end-to-end benches enable.
   hlssim::MerlinHls hls;
   std::vector<kir::Kernel> kernels = kernels::make_training_kernels();
   db::Database database;
@@ -107,4 +109,14 @@ BENCHMARK(BM_FullPrediction);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run is wrapped in the shared telemetry
+// session: GNNDSE_REPORT=<path> emits a JSON run report like every other
+// bench binary (bench_common.hpp).
+int main(int argc, char** argv) {
+  auto session = bench::make_report_session("bench_inference");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

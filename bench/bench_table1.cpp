@@ -9,13 +9,13 @@
 #include "bench_common.hpp"
 #include "dse/dse.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace gnndse;
 
 int main() {
-  util::Timer timer;
+  auto session = bench::make_report_session("bench_table1");
   hlssim::MerlinHls hls;
+  hls.set_cache_capacity(bench::kHlsCacheEntries);
   auto kernels = kernels::make_training_kernels();
 
   db::Database initial = bench::make_initial_database(hls);
@@ -69,6 +69,6 @@ int main() {
              util::Table::fmt_int(static_cast<long long>(fin_val))});
   t.print(std::cout);
   std::printf("\n[bench_table1] completed in %.1fs (scale: %s)\n",
-              timer.seconds(), bench::scale_tag());
+              session.seconds(), bench::scale_tag());
   return 0;
 }

@@ -77,8 +77,9 @@ Row run_variant(ModelKind kind, const model::Dataset& ds,
 }  // namespace
 
 int main() {
-  util::Timer timer;
+  auto session = bench::make_report_session("bench_table2");
   hlssim::MerlinHls hls;
+  hls.set_cache_capacity(bench::kHlsCacheEntries);
   auto kernels = kernels::make_training_kernels();
   db::Database database = bench::make_initial_database(hls);
   model::Normalizer norm = model::Normalizer::fit(database.points());
@@ -124,6 +125,6 @@ int main() {
   t.print(std::cout);
   t.write_csv("table2.csv");
   std::printf("\n[bench_table2] completed in %.1fs (scale: %s)\n",
-              timer.seconds(), bench::scale_tag());
+              session.seconds(), bench::scale_tag());
   return 0;
 }

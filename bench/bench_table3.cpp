@@ -14,13 +14,13 @@
 #include "bench_common.hpp"
 #include "dse/dse.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace gnndse;
 
 int main() {
-  util::Timer timer;
+  auto session = bench::make_report_session("bench_table3");
   hlssim::MerlinHls hls;
+  hls.set_cache_capacity(bench::kHlsCacheEntries);
   auto train_kernels = kernels::make_training_kernels();
   auto unseen = kernels::make_unseen_kernels();
 
@@ -74,6 +74,6 @@ int main() {
   std::printf("\naverage runtime speedup: %.0fx (paper: avg 48x, max 79x)\n",
               speedup_sum / static_cast<double>(unseen.size()));
   std::printf("[bench_table3] completed in %.1fs (scale: %s)\n",
-              timer.seconds(), bench::scale_tag());
+              session.seconds(), bench::scale_tag());
   return 0;
 }

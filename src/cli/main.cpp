@@ -7,6 +7,10 @@
 //   gnndse train [--db db.csv] [--epochs N] [--out PREFIX]
 //   gnndse dse <kernel> [--db db.csv] [--weights PREFIX] [--time SECONDS]
 //   gnndse autodse <kernel> [--budget-hours H]
+//
+// Every command honors --report <path> (or the GNNDSE_REPORT env var): a
+// machine-readable JSON run report — metrics registry plus the span tree —
+// is written there on exit (see docs/observability.md).
 #include <cstdio>
 #include <iostream>
 
@@ -18,6 +22,7 @@
 #include "graphgen/dot_export.hpp"
 #include "kernels/kernels.hpp"
 #include "kernels/kernels_extension.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 using namespace gnndse;
@@ -151,6 +156,7 @@ int cmd_dse(const cli::Args& args) {
   if (args.positional().size() < 2) return usage();
   kir::Kernel target = kernels::make_kernel(args.positional()[1]);
   hlssim::MerlinHls hls;
+  hls.set_cache_capacity(1 << 18);  // top-M re-evaluations become cache hits
   auto kernels = training_set(args.has("extension"));
   db::Database db;
   if (args.has("db")) {
@@ -207,6 +213,9 @@ int main(int argc, char** argv) {
   cli::Args args(argc, argv);
   if (args.positional().empty()) return usage();
   const std::string& cmd = args.positional()[0];
+  // Active when --report is given (or GNNDSE_REPORT is set): enables
+  // telemetry, opens the root `pipeline` span, writes the report on exit.
+  obs::ReportSession report("gnndse." + cmd, args.get("report", ""));
   try {
     if (cmd == "list") return cmd_list();
     if (cmd == "eval") return cmd_eval(args);

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gnndse::dse {
 
@@ -71,6 +72,8 @@ void ModelDse::score_chunk(const kir::Kernel& kernel,
   tensor::Tensor bram_pred = models_.regression_bram->predict_graphs(ptrs);
   tensor::Tensor valid_pred = models_.classifier->predict_graphs(ptrs);
 
+  static obs::Counter& c_pruned = obs::counter("dse.pruned_by_classifier");
+  std::int64_t pruned = 0;
   for (std::size_t i = 0; i < configs.size(); ++i) {
     RankedDesign d;
     d.config = configs[i];
@@ -81,13 +84,20 @@ void ModelDse::score_chunk(const kir::Kernel& kernel,
     d.predicted[model::kFf] = main_pred.at(row, 3);
     d.predicted[model::kBram] = bram_pred.at(row, 0);
     d.p_valid = sigmoidf(valid_pred.at(row, 0));
+    if (d.p_valid < 0.5f) ++pruned;
     ranked.push_back(std::move(d));
   }
+  obs::add(c_pruned, pruned);
 }
 
 DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
                         util::Rng& rng) {
-  util::Timer timer;
+  static obs::Counter& c_explored = obs::counter("dse.configs_explored");
+  static obs::Counter& c_beam = obs::counter("dse.beam_expansions");
+  static obs::Counter& c_random = obs::counter("dse.random_samples");
+  // The span's internal stopwatch doubles as the search time limit (the
+  // old bare util::Timer), so timing works whether or not obs records.
+  obs::ScopedSpan timer("dse.search");
   const dspace::DesignSpace& space = factory_.space(kernel);
   DseResult result;
   std::vector<RankedDesign> ranked;
@@ -95,6 +105,7 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
   auto flush_and_keep_top = [&](std::vector<DesignConfig>& pending) {
     score_chunk(kernel, pending, ranked);
     result.num_explored += pending.size();
+    obs::add(c_explored, static_cast<std::int64_t>(pending.size()));
     pending.clear();
     std::sort(ranked.begin(), ranked.end(),
               [&](const RankedDesign& a, const RankedDesign& b) {
@@ -136,6 +147,7 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
         break;
       }
       const auto& site = space.sites()[static_cast<std::size_t>(site_idx)];
+      obs::add(c_beam);
       for (const DesignConfig& base : beam) {
         for (std::int64_t opt : site.options) {
           DesignConfig cfg = base;
@@ -168,6 +180,7 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
         pending.push_back(std::move(cfg));
       }
       if (pending.empty()) break;
+      obs::add(c_random, static_cast<std::int64_t>(pending.size()));
       flush_and_keep_top(pending);
     }
   }
@@ -185,6 +198,7 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
   }
   result.top = std::move(ranked);
   result.search_seconds = timer.seconds();
+  timer.add("configs_explored", static_cast<double>(result.num_explored));
   return result;
 }
 
@@ -193,6 +207,8 @@ ModelDse::TopEvaluation ModelDse::evaluate_top(const kir::Kernel& kernel,
                                                const hlssim::MerlinHls& hls,
                                                double util_threshold,
                                                db::Database* out_db) const {
+  static obs::Counter& c_eval = obs::counter("dse.top_designs_evaluated");
+  obs::ScopedSpan span("hls.evaluate_top");
   TopEvaluation ev;
   double best_fit = std::numeric_limits<double>::infinity();
   auto run_batch = [&](const std::vector<RankedDesign>& batch) {
@@ -222,6 +238,9 @@ ModelDse::TopEvaluation ModelDse::evaluate_top(const kir::Kernel& kernel,
         r.reserve.begin() + static_cast<std::ptrdiff_t>(end)));
     next = end;
   }
+  obs::add(c_eval, static_cast<std::int64_t>(ev.evaluated.size()));
+  span.add("designs", static_cast<double>(ev.evaluated.size()));
+  span.add("simulated_hls_seconds", ev.hls_seconds);
   return ev;
 }
 
@@ -229,6 +248,7 @@ AutoDseOutcome run_autodse_baseline(const kir::Kernel& kernel,
                                     const hlssim::MerlinHls& hls,
                                     double time_budget_seconds,
                                     double util_threshold) {
+  obs::ScopedSpan span("dse.autodse_baseline");
   dspace::DesignSpace space(kernel);
   db::Explorer explorer(kernel, space, hls);
   AutoDseOutcome out;

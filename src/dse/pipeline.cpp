@@ -1,6 +1,8 @@
 #include "dse/pipeline.hpp"
 
 #include "model/weights.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace gnndse::dse {
@@ -17,6 +19,7 @@ TrainedModels::TrainedModels(const db::Database& database,
                              const PipelineOptions& opts,
                              const std::string& cache_prefix)
     : norm_(model::Normalizer::fit(database.points())) {
+  obs::ScopedSpan span("train");
   util::Rng rng(opts.seed);
 
   ModelOptions mo;
@@ -59,14 +62,25 @@ TrainedModels::TrainedModels(const db::Database& database,
     model::load_params(main_model_->params(), main_path);
     model::load_params(bram_model_->params(), bram_path);
     model::load_params(cls_model_->params(), cls_path);
+    obs::add(obs::counter("train.bundle_cache_loads"));
+    span.add("cache_loaded", 1.0);
     util::log_info("loaded cached model bundle from ", cache_prefix, ".*");
     return;
   }
 
   model::Dataset ds = model::build_dataset(database, kernels, norm_, factory);
-  main_trainer_->fit(ds, ds.valid_indices());
-  bram_trainer_->fit(ds, ds.valid_indices());
-  cls_trainer_->fit(ds, ds.all_indices());
+  {
+    obs::ScopedSpan fit_main("train.main");
+    main_trainer_->fit(ds, ds.valid_indices());
+  }
+  {
+    obs::ScopedSpan fit_bram("train.bram");
+    bram_trainer_->fit(ds, ds.valid_indices());
+  }
+  {
+    obs::ScopedSpan fit_cls("train.cls");
+    cls_trainer_->fit(ds, ds.all_indices());
+  }
   if (!cache_prefix.empty()) {
     model::save_params(main_model_->params(), main_path);
     model::save_params(bram_model_->params(), bram_path);
@@ -96,6 +110,8 @@ RoundsOutcome run_dse_rounds(const db::Database& initial_db,
   }
 
   for (int round = 0; round < rounds; ++round) {
+    obs::ScopedSpan round_span("dse.round");
+    obs::add(obs::counter("dse.rounds"));
     model::SampleFactory factory;
     PipelineOptions po = popts;
     po.seed = popts.seed + static_cast<std::uint64_t>(round);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "tensor/init.hpp"
 
 namespace gnndse::gnn {
@@ -9,6 +10,20 @@ namespace gnndse::gnn {
 using tensor::Tape;
 using tensor::Tensor;
 using tensor::VarId;
+
+namespace {
+
+/// Telemetry for the message-passing hot loop: one conv application and
+/// the number of edge messages it aggregates. Inlined no-op when disabled.
+inline void detail_count_message_pass(const GraphBatch& b) {
+  static obs::Counter& c_convs = obs::counter("gnn.conv_forwards");
+  static obs::Counter& c_msgs = obs::counter("gnn.edge_messages");
+  if (!obs::enabled()) return;
+  c_convs.add();
+  c_msgs.add(static_cast<std::int64_t>(b.src_sl.size()));
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // GCN.
@@ -18,6 +33,7 @@ GCNConv::GCNConv(std::int64_t in, std::int64_t out, util::Rng& rng)
     : lin_(in, out, rng) {}
 
 VarId GCNConv::forward(Tape& t, VarId x, const GraphBatch& b) {
+  detail_count_message_pass(b);
   // Aggregate with fixed symmetric-normalized coefficients over the
   // self-loop-augmented edge list, then transform.
   VarId msg = t.gather_rows(x, b.src_sl);
@@ -41,6 +57,7 @@ GATConv::GATConv(std::int64_t in, std::int64_t out, util::Rng& rng)
       bias_(Tensor({out})) {}
 
 VarId GATConv::forward(Tape& t, VarId x, const GraphBatch& b) {
+  detail_count_message_pass(b);
   VarId h = lin_.forward(t, x);  // [N, out]
   VarId score_src = t.matmul(h, t.param(att_src_));  // [N, 1]
   VarId score_dst = t.matmul(h, t.param(att_dst_));  // [N, 1]
@@ -79,6 +96,7 @@ TransformerConv::TransformerConv(std::int64_t in, std::int64_t out,
       gated_residual_(gated_residual) {}
 
 VarId TransformerConv::forward(Tape& t, VarId x, const GraphBatch& b) {
+  detail_count_message_pass(b);
   VarId q = wq_.forward(t, x);
   VarId k = wk_.forward(t, x);
   VarId v = wv_.forward(t, x);

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
 namespace gnndse::model {
 
 SampleFactory::KernelCache& SampleFactory::cache_for(
@@ -33,6 +37,9 @@ const graphgen::ProgramGraph& SampleFactory::graph(const kir::Kernel& kernel) {
 
 gnn::GraphData SampleFactory::featurize(const kir::Kernel& kernel,
                                         const hlssim::DesignConfig& cfg) {
+  static obs::Counter& c_built = obs::counter("graphgen.graphs_built");
+  static obs::Histogram& h_feat = obs::histogram("graphgen.featurize_ms");
+  util::Timer timer;
   KernelCache& kc = cache_for(kernel);
   gnn::GraphData g;
   g.x = graphgen::node_features(kc.graph, *kc.space, cfg);
@@ -40,6 +47,10 @@ gnn::GraphData SampleFactory::featurize(const kir::Kernel& kernel,
   g.src = kc.src;
   g.dst = kc.dst;
   g.aux = graphgen::pragma_vector(*kc.space, cfg, kMaxPragmaSites);
+  if (obs::enabled()) {
+    c_built.add();
+    h_feat.observe(timer.millis());
+  }
   return g;
 }
 
@@ -93,6 +104,7 @@ std::vector<std::vector<std::size_t>> Dataset::folds(
 Dataset build_dataset(const db::Database& database,
                       const std::vector<kir::Kernel>& kernels,
                       const Normalizer& norm, SampleFactory& factory) {
+  obs::ScopedSpan span("train.build_dataset");
   std::map<std::string, const kir::Kernel*> by_name;
   for (const auto& k : kernels) by_name[k.name] = &k;
 
@@ -104,6 +116,7 @@ Dataset build_dataset(const db::Database& database,
       throw std::invalid_argument("build_dataset: unknown kernel " + p.kernel);
     ds.samples.push_back(factory.make(*it->second, p.config, p.result, norm));
   }
+  span.add("samples", static_cast<double>(ds.samples.size()));
   return ds;
 }
 

@@ -3,7 +3,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace gnndse::model {
 
@@ -46,10 +49,22 @@ Tensor Trainer::batch_targets(const Dataset& ds,
 
 float Trainer::fit(const Dataset& ds,
                    const std::vector<std::size_t>& train_idx) {
+  static obs::Counter& c_epochs = obs::counter("train.epochs");
+  static obs::Counter& c_steps = obs::counter("train.steps");
+  static obs::Histogram& h_step = obs::histogram("train.step_ms");
+  static obs::Histogram& h_fwd = obs::histogram("train.forward_ms");
+  static obs::Histogram& h_bwd = obs::histogram("train.backward_ms");
+  static obs::Histogram& h_epoch = obs::histogram("train.epoch_ms");
+  static obs::Gauge& g_loss = obs::gauge("train.last_epoch_loss");
+
+  obs::ScopedSpan span(opts_.task == Task::kClassification
+                           ? "train.fit.classifier"
+                           : "train.fit.regression");
   util::Rng rng(opts_.seed);
   std::vector<std::size_t> order = train_idx;
   float last_epoch_loss = 0.0f;
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    util::Timer epoch_timer;
     rng.shuffle(order);
     double loss_acc = 0.0;
     std::size_t batches = 0;
@@ -65,6 +80,8 @@ float Trainer::fit(const Dataset& ds,
       gnn::GraphBatch batch = gnn::make_batch(graphs);
       Tensor targets = batch_targets(ds, bidx);
 
+      const bool rec = obs::enabled();
+      util::Timer step_timer;
       adam_.zero_grad();
       Tape tape;
       VarId pred = model_.forward(tape, batch);
@@ -73,16 +90,31 @@ float Trainer::fit(const Dataset& ds,
                        : tape.mse_loss(pred, targets);
       loss_acc += tape.value(loss).at(0);
       ++batches;
+      const double fwd_ms = rec ? step_timer.millis() : 0.0;
       tape.backward(loss);
       adam_.step();
+      if (rec) {
+        const double step_ms = step_timer.millis();
+        h_fwd.observe(fwd_ms);
+        h_bwd.observe(step_ms - fwd_ms);
+        h_step.observe(step_ms);
+        c_steps.add();
+      }
     }
     last_epoch_loss =
         batches ? static_cast<float>(loss_acc / static_cast<double>(batches))
                 : 0.0f;
+    if (obs::enabled()) {
+      c_epochs.add();
+      h_epoch.observe(epoch_timer.millis());
+      g_loss.set(last_epoch_loss);
+    }
     if (opts_.verbose)
       util::log_info("epoch ", epoch + 1, "/", opts_.epochs,
                      " loss=", last_epoch_loss);
   }
+  span.add("epochs", static_cast<double>(opts_.epochs));
+  span.add("final_loss", static_cast<double>(last_epoch_loss));
   return last_epoch_loss;
 }
 
@@ -96,6 +128,9 @@ Tensor Trainer::predict(const Dataset& ds,
 
 Tensor Trainer::predict_graphs(
     const std::vector<const gnn::GraphData*>& graphs) {
+  static obs::Counter& c_inf = obs::counter("gnn.inferences");
+  static obs::Histogram& h_inf = obs::histogram("gnn.inference_batch_ms");
+  util::Timer timer;
   const std::int64_t out = model_.options().out_dim;
   Tensor result({static_cast<std::int64_t>(graphs.size()), out});
   constexpr std::size_t kChunk = 256;
@@ -110,6 +145,10 @@ Tensor Trainer::predict_graphs(
     const Tensor& v = tape.value(pred);
     std::copy_n(v.data(), v.numel(),
                 result.data() + static_cast<std::int64_t>(start) * out);
+  }
+  if (obs::enabled()) {
+    c_inf.add(static_cast<std::int64_t>(graphs.size()));
+    h_inf.observe(timer.millis());
   }
   return result;
 }

@@ -1,0 +1,199 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+namespace gnndse::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+double Histogram::bucket_bound(int i) {
+  // 2^-10 ms (~1 µs) up to 2^20 ms (~17.5 min).
+  return std::ldexp(1.0, i - 10);
+}
+
+namespace {
+
+int bucket_index(double value_ms) {
+  for (int i = 0; i < Histogram::kNumFinite; ++i)
+    if (value_ms <= Histogram::bucket_bound(i)) return i;
+  return Histogram::kNumFinite;  // overflow
+}
+
+/// Relaxed fetch-add / fetch-min / fetch-max for atomic<double> via CAS.
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur > v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(double value_ms) {
+  if (!(value_ms >= 0.0)) value_ms = 0.0;  // clamp negatives and NaN
+  buckets_[bucket_index(value_ms)].fetch_add(1, std::memory_order_relaxed);
+  // First observation seeds min_ (otherwise min would stick at the 0 init).
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0)
+    min_.store(value_ms, std::memory_order_relaxed);
+  else
+    atomic_min(min_, value_ms);
+  atomic_max(max_, value_ms);
+  atomic_add(sum_, value_ms);
+}
+
+double Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::percentile(double q) const {
+  const std::int64_t n = count();
+  if (n <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n)));
+  const std::int64_t target = std::max<std::int64_t>(rank, 1);
+  std::int64_t cum = 0;
+  for (int i = 0; i <= kNumFinite; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= target) {
+      const double bound =
+          i < kNumFinite ? bucket_bound(i) : max_.load(std::memory_order_relaxed);
+      // A bucket bound can overshoot the largest value actually seen.
+      return std::min(bound, max_.load(std::memory_order_relaxed));
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(kNumFinite + 1);
+  for (int i = 0; i <= kNumFinite; ++i)
+    out[static_cast<std::size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (int i = 0; i <= kNumFinite; ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// std::map keeps node addresses stable across inserts, so references
+/// handed out by counter()/gauge()/histogram() never dangle.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+Registry& registry() {
+  // Deliberately leaked: a ReportSession may live as a file-scope static
+  // (test_integration, bench binaries under GNNDSE_REPORT) and snapshot the
+  // registry during static destruction, after a function-local static here
+  // would already be gone.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.counters[name];
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.gauges[name];
+}
+
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.histograms[name];
+}
+
+std::vector<CounterSnapshot> counters_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<CounterSnapshot> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) out.push_back({name, c.value()});
+  return out;
+}
+
+std::vector<GaugeSnapshot> gauges_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) out.push_back({name, g.value()});
+  return out;
+}
+
+std::vector<HistogramSnapshot> histograms_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms)
+    out.push_back({name, h.count(), h.sum(), h.min(), h.max(),
+                   h.percentile(0.50), h.percentile(0.95),
+                   h.bucket_counts()});
+  return out;
+}
+
+void clear_trace();  // trace.cpp
+
+void reset_all() {
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, c] : r.counters) c.reset();
+    for (auto& [name, g] : r.gauges) g.reset();
+    for (auto& [name, h] : r.histograms) h.reset();
+  }
+  clear_trace();
+}
+
+}  // namespace gnndse::obs

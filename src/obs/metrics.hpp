@@ -1,0 +1,129 @@
+// Process-wide metrics registry: monotonic counters, gauges, and
+// fixed-bucket latency histograms (p50/p95/max), all thread-safe.
+//
+// Instrumentation is designed to sit in hot loops (hls_sim.cpp, conv.cpp):
+// every recording helper first runs an inlined check of a single relaxed
+// atomic flag and returns immediately when telemetry is disabled, so a
+// disabled build path costs one predictable branch. Metric handles returned
+// by counter()/gauge()/histogram() are stable for the process lifetime —
+// resolve them once (function-local static) and reuse them.
+//
+// Naming convention (docs/observability.md): `subsystem.metric[_unit]`,
+// e.g. `hlssim.evaluations`, `dse.configs_explored`, `train.forward_ms`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnndse::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when telemetry recording is on (set by ReportSession / set_enabled).
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on);
+
+/// Monotonic counter. add() is a relaxed atomic increment.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-write-wins gauge.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram for latencies in milliseconds: log-spaced bucket
+/// upper bounds from 1 µs to ~17 min (powers of two), plus an overflow
+/// bucket. Percentiles are bucket-resolution estimates (the upper bound of
+/// the bucket where the cumulative count crosses the quantile, clamped to
+/// the exact observed max); an empty histogram reports 0 everywhere.
+class Histogram {
+ public:
+  /// Bucket upper bounds in ms: 2^-10 .. 2^20 (31 finite buckets).
+  static constexpr int kNumFinite = 31;
+  static double bucket_bound(int i);  // i in [0, kNumFinite)
+
+  void observe(double value_ms);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  /// q in [0,1]; q=0.5 -> p50. Returns 0 when empty.
+  double percentile(double q) const;
+  /// Cumulative counts are not snapshotted atomically; values observed
+  /// concurrently with a read may land in either side of the report.
+  std::vector<std::int64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> buckets_[kNumFinite + 1] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Registry lookup: returns the process-wide metric with this name,
+/// creating it on first use. References stay valid for the process
+/// lifetime (reset_all() zeroes values but never removes metrics).
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Inline recording helpers — no-ops (one relaxed load + branch) when
+/// telemetry is disabled. Use these in hot loops.
+inline void add(Counter& c, std::int64_t n = 1) {
+  if (enabled()) c.add(n);
+}
+inline void set(Gauge& g, double v) {
+  if (enabled()) g.set(v);
+}
+inline void observe(Histogram& h, double value_ms) {
+  if (enabled()) h.observe(value_ms);
+}
+
+/// Snapshot of every registered metric, sorted by name (for the exporter).
+struct CounterSnapshot {
+  std::string name;
+  std::int64_t value;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value;
+};
+struct HistogramSnapshot {
+  std::string name;
+  std::int64_t count;
+  double sum, min, max, p50, p95;
+  std::vector<std::int64_t> buckets;  // kNumFinite + overflow
+};
+std::vector<CounterSnapshot> counters_snapshot();
+std::vector<GaugeSnapshot> gauges_snapshot();
+std::vector<HistogramSnapshot> histograms_snapshot();
+
+/// Zeroes every metric and clears the recorded span trace (testing hook;
+/// does not invalidate previously returned metric references).
+void reset_all();
+
+}  // namespace gnndse::obs

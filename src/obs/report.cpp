@@ -1,0 +1,194 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace gnndse::obs {
+
+namespace {
+
+// JSON string/number rendering in the style of graphgen/json_export.cpp.
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+void append_number(std::ostringstream& os, double v) {
+  // JSON has no inf/nan; clamp to null-free sentinels.
+  if (!(v == v)) {
+    os << 0;
+    return;
+  }
+  if (v > 1e308) {
+    os << 1e308;
+    return;
+  }
+  if (v < -1e308) {
+    os << -1e308;
+    return;
+  }
+  os << v;
+}
+
+void append_span(std::ostringstream& os, const std::vector<SpanRecord>& spans,
+                 const std::vector<std::vector<std::int64_t>>& children,
+                 std::int64_t id) {
+  const SpanRecord& s = spans[static_cast<std::size_t>(id)];
+  os << "{\"name\":";
+  append_escaped(os, s.name);
+  os << ",\"start_ms\":";
+  append_number(os, s.start_ms);
+  os << ",\"duration_ms\":";
+  append_number(os, s.duration_ms);
+  if (s.open) os << ",\"open\":true";
+  if (!s.counters.empty()) {
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [k, v] : s.counters) {
+      if (!first) os << ',';
+      first = false;
+      append_escaped(os, k);
+      os << ':';
+      append_number(os, v);
+    }
+    os << '}';
+  }
+  os << ",\"children\":[";
+  bool first = true;
+  for (std::int64_t ch : children[static_cast<std::size_t>(id)]) {
+    if (!first) os << ',';
+    first = false;
+    append_span(os, spans, children, ch);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string report_json(const std::string& tool, double elapsed_seconds) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"schema_version\":1,\"tool\":";
+  append_escaped(os, tool);
+  os << ",\"elapsed_seconds\":";
+  append_number(os, elapsed_seconds);
+
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters_snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    append_escaped(os, c.name);
+    os << ':' << c.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges_snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    append_escaped(os, g.name);
+    os << ':';
+    append_number(os, g.value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms_snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    append_escaped(os, h.name);
+    os << ":{\"count\":" << h.count << ",\"sum_ms\":";
+    append_number(os, h.sum);
+    os << ",\"min_ms\":";
+    append_number(os, h.min);
+    os << ",\"max_ms\":";
+    append_number(os, h.max);
+    os << ",\"p50_ms\":";
+    append_number(os, h.p50);
+    os << ",\"p95_ms\":";
+    append_number(os, h.p95);
+    os << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) os << ',';
+      os << "{\"le_ms\":";
+      if (i + 1 < h.buckets.size())
+        append_number(os, Histogram::bucket_bound(static_cast<int>(i)));
+      else
+        os << "\"inf\"";
+      os << ",\"count\":" << h.buckets[i] << '}';
+    }
+    os << "]}";
+  }
+
+  os << "},\"spans\":[";
+  const std::vector<SpanRecord> spans = trace_snapshot();
+  std::vector<std::vector<std::int64_t>> children(spans.size());
+  std::vector<std::int64_t> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.parent >= 0 && s.parent < static_cast<std::int64_t>(spans.size()))
+      children[static_cast<std::size_t>(s.parent)].push_back(s.id);
+    else
+      roots.push_back(s.id);
+  }
+  first = true;
+  for (std::int64_t r : roots) {
+    if (!first) os << ',';
+    first = false;
+    append_span(os, spans, children, r);
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool write_report(const std::string& path, const std::string& tool,
+                  double elapsed_seconds) {
+  std::ofstream out(path);
+  if (!out) {
+    util::log_warn("obs: cannot open report path ", path);
+    return false;
+  }
+  out << report_json(tool, elapsed_seconds) << '\n';
+  if (!out.good()) {
+    util::log_warn("obs: short write to report path ", path);
+    return false;
+  }
+  return true;
+}
+
+ReportSession::ReportSession(std::string tool, std::string path)
+    : tool_(std::move(tool)), path_(std::move(path)) {
+  if (path_.empty()) {
+    const char* env = std::getenv(kReportEnvVar);
+    if (env != nullptr && *env != '\0') path_ = env;
+  }
+  if (path_.empty()) return;
+  set_enabled(true);
+  root_.emplace("pipeline");
+}
+
+ReportSession::~ReportSession() {
+  if (path_.empty()) return;
+  root_.reset();  // close the root span before exporting
+  if (write_report(path_, tool_, timer_.seconds()))
+    util::log_info("obs: run report written to ", path_);
+}
+
+}  // namespace gnndse::obs

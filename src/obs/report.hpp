@@ -1,0 +1,54 @@
+// Machine-readable run reports: serializes the metrics registry and the
+// recorded span tree to JSON (schema_version 1; see docs/observability.md
+// for the schema and scripts/check_report.py for a stdlib-only validator).
+//
+// ReportSession is the one-liner used by the CLI (--report PATH) and by
+// every bench binary (GNNDSE_REPORT env var, via bench_common.hpp): when a
+// path is configured it enables telemetry, opens the root `pipeline` span,
+// and writes the report on destruction. With no path it does nothing and
+// instrumentation throughout the pipeline stays a no-op.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace gnndse::obs {
+
+/// Renders the full report JSON: tool name, elapsed seconds, counters,
+/// gauges, histograms (with p50/p95/max and raw buckets), and the span tree.
+std::string report_json(const std::string& tool, double elapsed_seconds);
+
+/// Writes report_json() to `path`. Returns false (and logs a warning)
+/// on I/O failure instead of throwing — reports are best-effort.
+bool write_report(const std::string& path, const std::string& tool,
+                  double elapsed_seconds);
+
+/// Env var naming the report destination for bench/test binaries.
+inline constexpr const char* kReportEnvVar = "GNNDSE_REPORT";
+
+class ReportSession {
+ public:
+  /// Activates when `path` is non-empty, otherwise when $GNNDSE_REPORT is
+  /// set; inactive sessions cost nothing. An active session turns
+  /// telemetry on and opens the root span (named "pipeline").
+  explicit ReportSession(std::string tool, std::string path = "");
+  ~ReportSession();
+  ReportSession(const ReportSession&) = delete;
+  ReportSession& operator=(const ReportSession&) = delete;
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Wall-clock since construction — active or not, so binaries can use
+  /// the session as their run stopwatch (replacing a bare util::Timer).
+  double seconds() const { return timer_.seconds(); }
+
+ private:
+  std::string tool_, path_;
+  util::Timer timer_;
+  std::optional<ScopedSpan> root_;
+};
+
+}  // namespace gnndse::obs

@@ -1,0 +1,89 @@
+#include "obs/trace.hpp"
+
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace gnndse::obs {
+
+namespace {
+
+struct TraceStore {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+  util::Timer epoch;  // trace time zero = first touch of the store
+};
+
+TraceStore& store() {
+  // Deliberately leaked so spans can close and be exported during static
+  // destruction (file-scope ReportSession), mirroring registry().
+  static TraceStore* t = new TraceStore();
+  return *t;
+}
+
+/// Innermost open span on this thread; new spans nest under it. Spans
+/// opened on other threads without an ancestor become root-level.
+thread_local std::int64_t t_current_parent = -1;
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const std::string& name) {
+  if (!enabled()) return;
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  id_ = static_cast<std::int64_t>(t.spans.size());
+  SpanRecord rec;
+  rec.name = name;
+  rec.id = id_;
+  rec.parent = t_current_parent;
+  rec.start_ms = t.epoch.millis();
+  t.spans.push_back(std::move(rec));
+  t_current_parent = id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ < 0) return;
+  const double dur = timer_.millis();
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  // clear_trace() may have run while this span was open.
+  if (id_ < static_cast<std::int64_t>(t.spans.size())) {
+    SpanRecord& rec = t.spans[static_cast<std::size_t>(id_)];
+    rec.duration_ms = dur;
+    rec.open = false;
+    t_current_parent = rec.parent;
+  } else {
+    t_current_parent = -1;
+  }
+}
+
+void ScopedSpan::add(const std::string& key, double value) {
+  if (id_ < 0) return;
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (id_ >= static_cast<std::int64_t>(t.spans.size())) return;
+  SpanRecord& rec = t.spans[static_cast<std::size_t>(id_)];
+  for (auto& [k, v] : rec.counters) {
+    if (k == key) {
+      v += value;
+      return;
+    }
+  }
+  rec.counters.emplace_back(key, value);
+}
+
+std::vector<SpanRecord> trace_snapshot() {
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.spans;
+}
+
+void clear_trace() {
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.spans.clear();
+  t_current_parent = -1;
+  t.epoch.reset();
+}
+
+}  // namespace gnndse::obs

@@ -1,0 +1,59 @@
+// Hierarchical trace spans: ScopedSpan opens a span on construction and
+// closes it on destruction, nesting under the innermost span still open on
+// the same thread. Finished spans carry wall-clock (start offset + duration,
+// via util::Timer) and any counters attached with add(); the exporter
+// flattens the records into a span tree.
+//
+// A ScopedSpan always runs its Timer (one clock read at construction), so
+// callers can use seconds() for time limits whether or not telemetry is
+// recording — folding the old bare util::Timer call sites into the span API.
+// Recording itself happens only when obs::enabled().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace gnndse::obs {
+
+/// One finished (or still-open) span as stored in the trace.
+struct SpanRecord {
+  std::string name;
+  std::int64_t id = -1;
+  std::int64_t parent = -1;  // -1 = root level
+  double start_ms = 0.0;     // offset from the trace epoch
+  double duration_ms = 0.0;
+  bool open = true;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const std::string& name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches (accumulates) a named value on this span.
+  void add(const std::string& key, double value);
+
+  /// Elapsed wall-clock since construction; works even when disabled.
+  double seconds() const { return timer_.seconds(); }
+  double millis() const { return timer_.millis(); }
+
+ private:
+  util::Timer timer_;
+  std::int64_t id_ = -1;  // -1 when telemetry was disabled at construction
+};
+
+/// Snapshot of all recorded spans, in creation (start) order. Ids are
+/// indices into the returned vector.
+std::vector<SpanRecord> trace_snapshot();
+
+/// Drops every recorded span (testing hook; reset_all() calls this too).
+void clear_trace();
+
+}  // namespace gnndse::obs

@@ -18,6 +18,11 @@ RunScale run_scale() {
   return RunScale::kDefault;
 }
 
+std::string env_str(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
 int env_int(const std::string& name, int fallback) {
   const char* v = std::getenv(name.c_str());
   if (v == nullptr || *v == '\0') return fallback;

@@ -19,6 +19,9 @@ RunScale run_scale();
 /// Reads an integer env var, returning `fallback` when unset or malformed.
 int env_int(const std::string& name, int fallback);
 
+/// Reads a string env var, returning `fallback` when unset or empty.
+std::string env_str(const std::string& name, const std::string& fallback = "");
+
 /// Picks one of three values by the current run scale.
 template <typename T>
 T by_scale(T fast, T dflt, T full) {

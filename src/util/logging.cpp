@@ -1,11 +1,45 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+#include "util/env.hpp"
+#include "util/timer.hpp"
 
 namespace gnndse::util {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+/// GNNDSE_LOG_LEVEL: debug|info|warn|error (case-insensitive) or 0-3.
+LogLevel level_from_env() {
+  std::string v = env_str("GNNDSE_LOG_LEVEL");
+  for (char& c : v)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+
+/// Serializes whole lines so interleaved log_line calls from concurrent
+/// threads cannot tear each other's output.
+std::mutex& log_mutex() {
+  static std::mutex* m = new std::mutex();  // leaked: usable at exit
+  return *m;
+}
+
+/// Elapsed-ms epoch: first touch of the logger. Leaked so log lines emitted
+/// during static destruction (e.g. obs::ReportSession) stay well-defined.
+const Timer& process_timer() {
+  static Timer* t = new Timer();
+  return *t;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -21,6 +55,22 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
+/// ISO-8601 UTC with millisecond resolution, e.g. 2026-08-06T12:34:56.789Z.
+std::string iso8601_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
 }  // namespace
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
@@ -32,7 +82,13 @@ void set_log_level(LogLevel level) {
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
   std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-  os << "[" << level_tag(level) << "] " << msg << '\n';
+  const std::string stamp = iso8601_now();
+  const double elapsed_ms = process_timer().millis();
+  char prefix[96];
+  std::snprintf(prefix, sizeof prefix, "[%s] [%9.1fms] [%s] ", stamp.c_str(),
+                elapsed_ms, level_tag(level));
+  std::lock_guard<std::mutex> lock(log_mutex());
+  os << prefix << msg << '\n';
 }
 }  // namespace detail
 

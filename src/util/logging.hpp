@@ -1,5 +1,10 @@
 // Minimal leveled logging. Experiments print their tables via util/table.hpp;
 // this is for progress lines (epoch losses, DSE round summaries).
+//
+// Each line is prefixed with an ISO-8601 UTC timestamp and the elapsed ms
+// since process start, and whole lines are serialized under a mutex so
+// concurrent threads cannot tear each other's output. The initial threshold
+// comes from GNNDSE_LOG_LEVEL (debug|info|warn|error or 0-3; default info).
 #pragma once
 
 #include <iostream>

@@ -1,5 +1,9 @@
 // Wall-clock timing helpers for the DSE time limits and the runtime
 // comparisons in Table 3 / the inference-throughput bench.
+//
+// Timer is the low-level monotonic clock; the telemetry layer composes it
+// (obs::ScopedSpan owns a Timer and records it into the span tree), so new
+// timing call sites should usually open a span instead of a bare Timer.
 #pragma once
 
 #include <chrono>

@@ -10,10 +10,16 @@
 #include "dse/pipeline.hpp"
 #include "kernels/kernels.hpp"
 #include "model/trainer.hpp"
+#include "obs/report.hpp"
 #include "util/timer.hpp"
 
 namespace gnndse {
 namespace {
+
+// When GNNDSE_REPORT is set (the obs_report CTest fixture), telemetry is
+// recorded across the whole binary and a JSON run report is written at
+// exit; scripts/check_report.py then validates it. Unset -> inert.
+obs::ReportSession g_report_session("test_integration");
 
 class EndToEnd : public ::testing::Test {
  protected:

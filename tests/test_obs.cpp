@@ -1,0 +1,439 @@
+// Telemetry subsystem: counter/gauge/histogram math (percentile edges,
+// empty histogram), span nesting and ordering, JSON round-trip of a run
+// report, thread-safety of the registry, and the zero-cost-disabled gate.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace gnndse {
+namespace {
+
+/// Re-arms telemetry for each test and restores the disabled default.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::reset_all();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset_all();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON parser — enough to round-trip a report.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected ") + c + " got " +
+                               s_[pos_]);
+    ++pos_;
+  }
+  Json value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return boolean();
+      default:
+        return number();
+    }
+  }
+  Json object() {
+    Json v;
+    v.kind = Json::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      Json key = string_value();
+      expect(':');
+      v.obj[key.str] = value();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+  Json array() {
+    Json v;
+    v.kind = Json::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+  Json string_value() {
+    Json v;
+    v.kind = Json::Kind::kString;
+    expect('"');
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char e = s_[pos_++];
+        c = e == 'n' ? '\n' : e;
+      }
+      v.str.push_back(c);
+    }
+    if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+    ++pos_;  // closing quote
+    return v;
+  }
+  Json boolean() {
+    Json v;
+    v.kind = Json::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.b = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+  Json number() {
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E'))
+      ++end;
+    if (end == pos_) throw std::runtime_error("bad number");
+    v.num = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Counters and gauges.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterAccumulatesAndResets) {
+  obs::Counter& c = obs::counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  obs::add(c);
+  obs::add(c, 41);
+  EXPECT_EQ(c.value(), 42);
+  obs::reset_all();
+  EXPECT_EQ(c.value(), 0);
+  // The handle survives reset: same metric, still registered.
+  obs::add(c, 7);
+  EXPECT_EQ(obs::counter("test.counter").value(), 7);
+}
+
+TEST_F(ObsTest, DisabledRecordingIsDropped) {
+  obs::Counter& c = obs::counter("test.disabled");
+  obs::set_enabled(false);
+  obs::add(c, 5);
+  EXPECT_EQ(c.value(), 0);
+  obs::set_enabled(true);
+  obs::add(c, 5);
+  EXPECT_EQ(c.value(), 5);
+}
+
+TEST_F(ObsTest, GaugeIsLastWriteWins) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  obs::set(g, 1.5);
+  obs::set(g, -2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+TEST_F(ObsTest, TwoThreadsHammeringOneCounterIsExact) {
+  obs::Counter& c = obs::counter("test.mt_counter");
+  constexpr int kPerThread = 200'000;
+  auto hammer = [&c] {
+    for (int i = 0; i < kPerThread; ++i) obs::add(c);
+  };
+  std::thread a(hammer), b(hammer);
+  a.join();
+  b.join();
+  EXPECT_EQ(c.value(), 2 * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram math.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, EmptyHistogramReportsZeros) {
+  obs::Histogram& h = obs::histogram("test.empty_hist");
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 0.0);
+}
+
+TEST_F(ObsTest, HistogramStatsAndPercentiles) {
+  obs::Histogram& h = obs::histogram("test.hist");
+  // 100 observations: 1..100 ms.
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  // Bucket-resolution estimates: p50 of 1..100 lands in the (32,64] bucket,
+  // p95 in the (64,128] bucket (clamped to the observed max of 100).
+  EXPECT_GE(h.percentile(0.5), 50.0);
+  EXPECT_LE(h.percentile(0.5), 64.0);
+  EXPECT_GE(h.percentile(0.95), 95.0);
+  EXPECT_LE(h.percentile(0.95), 100.0);
+  // Edges: p0 is the first non-empty bucket's bound, p100 the exact max.
+  EXPECT_GT(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST_F(ObsTest, HistogramSingleObservationPercentileEdges) {
+  obs::Histogram& h = obs::histogram("test.hist_one");
+  h.observe(3.0);
+  // Every percentile of one observation clamps to that observation.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST_F(ObsTest, HistogramOverflowBucketAndNegativeClamp) {
+  obs::Histogram& h = obs::histogram("test.hist_edge");
+  h.observe(-5.0);  // clamped to 0 -> first bucket
+  h.observe(1e9);   // far beyond the last finite bound -> overflow bucket
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  auto buckets = h.bucket_counts();
+  EXPECT_EQ(buckets.front(), 1);
+  EXPECT_EQ(buckets.back(), 1);
+  // The overflow percentile reports the observed max, not a bucket bound.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e9);
+}
+
+TEST_F(ObsTest, HistogramConcurrentObservationsKeepExactCount) {
+  obs::Histogram& h = obs::histogram("test.hist_mt");
+  constexpr int kPerThread = 50'000;
+  auto hammer = [&h] {
+    for (int i = 0; i < kPerThread; ++i)
+      h.observe(static_cast<double>(i % 7));
+  };
+  std::thread a(hammer), b(hammer);
+  a.join();
+  b.join();
+  EXPECT_EQ(h.count(), 2 * kPerThread);
+  std::int64_t bucket_total = 0;
+  for (std::int64_t n : h.bucket_counts()) bucket_total += n;
+  EXPECT_EQ(bucket_total, 2 * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SpansNestAndRecordInStartOrder) {
+  {
+    obs::ScopedSpan outer("outer");
+    {
+      obs::ScopedSpan first("first");
+      first.add("key", 2.0);
+      first.add("key", 3.0);
+    }
+    { obs::ScopedSpan second("second"); }
+    outer.add("done", 1.0);
+  }
+  { obs::ScopedSpan sibling("sibling"); }
+
+  auto spans = obs::trace_snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "first");
+  EXPECT_EQ(spans[2].name, "second");
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].parent, spans[0].id);
+  EXPECT_EQ(spans[3].parent, -1);
+  for (const auto& s : spans) EXPECT_FALSE(s.open);
+  // Children start within the parent and cannot outlive it.
+  EXPECT_GE(spans[1].start_ms, spans[0].start_ms);
+  EXPECT_LE(spans[1].duration_ms, spans[0].duration_ms);
+  // Attached counters accumulate per key.
+  ASSERT_EQ(spans[1].counters.size(), 1u);
+  EXPECT_EQ(spans[1].counters[0].first, "key");
+  EXPECT_DOUBLE_EQ(spans[1].counters[0].second, 5.0);
+}
+
+TEST_F(ObsTest, DisabledSpansStillTimeButDoNotRecord) {
+  obs::set_enabled(false);
+  obs::ScopedSpan span("invisible");
+  EXPECT_GE(span.seconds(), 0.0);  // the stopwatch works regardless
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Report JSON round-trip.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ReportJsonRoundTrips) {
+  obs::add(obs::counter("rt.counter"), 42);
+  obs::set(obs::gauge("rt.gauge"), 2.75);
+  obs::Histogram& h = obs::histogram("rt.hist");
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  {
+    obs::ScopedSpan root("pipeline");
+    obs::ScopedSpan child("train");
+    child.add("epochs", 3.0);
+  }
+
+  const std::string json = obs::report_json("test_obs", 1.25);
+  Json doc = JsonParser(json).parse();
+
+  EXPECT_EQ(doc.at("schema_version").num, 1.0);
+  EXPECT_EQ(doc.at("tool").str, "test_obs");
+  EXPECT_DOUBLE_EQ(doc.at("elapsed_seconds").num, 1.25);
+  EXPECT_EQ(doc.at("counters").at("rt.counter").num, 42.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("rt.gauge").num, 2.75);
+
+  const Json& hist = doc.at("histograms").at("rt.hist");
+  EXPECT_EQ(hist.at("count").num, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum_ms").num, 7.0);
+  EXPECT_DOUBLE_EQ(hist.at("min_ms").num, 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("max_ms").num, 4.0);
+  std::int64_t bucket_total = 0;
+  for (const Json& b : hist.at("buckets").arr)
+    bucket_total += static_cast<std::int64_t>(b.at("count").num);
+  EXPECT_EQ(bucket_total, 3);
+
+  ASSERT_EQ(doc.at("spans").arr.size(), 1u);
+  const Json& root = doc.at("spans").arr[0];
+  EXPECT_EQ(root.at("name").str, "pipeline");
+  ASSERT_EQ(root.at("children").arr.size(), 1u);
+  const Json& child = root.at("children").arr[0];
+  EXPECT_EQ(child.at("name").str, "train");
+  EXPECT_DOUBLE_EQ(child.at("counters").at("epochs").num, 3.0);
+  EXPECT_TRUE(child.at("children").arr.empty());
+  EXPECT_GE(child.at("duration_ms").num, 0.0);
+}
+
+TEST_F(ObsTest, ReportEscapesStrings) {
+  obs::add(obs::counter("weird\"name\\with\nnewline"), 1);
+  const std::string json = obs::report_json("tool \"quoted\"", 0.0);
+  Json doc = JsonParser(json).parse();
+  EXPECT_EQ(doc.at("tool").str, "tool \"quoted\"");
+  EXPECT_EQ(doc.at("counters").at("weird\"name\\with\nnewline").num, 1.0);
+}
+
+TEST_F(ObsTest, ReportSessionWritesFileAndClosesRootSpan) {
+  const std::string path = ::testing::TempDir() + "/obs_session_report.json";
+  obs::set_enabled(false);  // the session flips it on itself
+  {
+    obs::ReportSession session("test_tool", path);
+    ASSERT_TRUE(session.active());
+    EXPECT_TRUE(obs::enabled());
+    obs::ScopedSpan work("work");
+    obs::add(obs::counter("session.counter"), 9);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Json doc = JsonParser(json).parse();
+  EXPECT_EQ(doc.at("tool").str, "test_tool");
+  ASSERT_EQ(doc.at("spans").arr.size(), 1u);
+  EXPECT_EQ(doc.at("spans").arr[0].at("name").str, "pipeline");
+  EXPECT_FALSE(doc.at("spans").arr[0].has("open"));
+  EXPECT_EQ(doc.at("spans").arr[0].at("children").arr[0].at("name").str,
+            "work");
+  EXPECT_EQ(doc.at("counters").at("session.counter").num, 9.0);
+}
+
+TEST_F(ObsTest, InactiveReportSessionDoesNothing) {
+  obs::set_enabled(false);
+  obs::ReportSession session("noop", "");
+  // No GNNDSE_REPORT in the test environment and no explicit path.
+  if (!session.active()) {
+    EXPECT_FALSE(obs::enabled());
+    EXPECT_TRUE(obs::trace_snapshot().empty());
+  }
+}
+
+}  // namespace
+}  // namespace gnndse
