@@ -5,6 +5,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace gnndse::dse {
 
@@ -60,17 +62,32 @@ void ModelDse::score_chunk(const kir::Kernel& kernel,
                            const std::vector<DesignConfig>& configs,
                            std::vector<RankedDesign>& ranked) {
   if (configs.empty()) return;
-  std::vector<gnn::GraphData> graphs;
-  graphs.reserve(configs.size());
-  for (const auto& cfg : configs)
-    graphs.push_back(factory_.featurize(kernel, cfg));
+  static obs::Histogram& h_feat = obs::histogram("dse.featurize_chunk_ms");
+  static obs::Histogram& h_pred = obs::histogram("dse.predict_chunk_ms");
+  // Per-config featurization fans out across the pool (the per-kernel
+  // lowering cache is already warm — run() touched it via space()); each
+  // index writes its own slot, so chunk order never affects the result.
+  // Prediction stays one batched model call per trainer, whose matmuls
+  // parallelize internally.
+  util::Timer feat_timer;
+  std::vector<gnn::GraphData> graphs(configs.size());
+  util::parallel_for(
+      static_cast<std::int64_t>(configs.size()), 8,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+          graphs[static_cast<std::size_t>(i)] =
+              factory_.featurize(kernel, configs[static_cast<std::size_t>(i)]);
+      });
+  obs::observe(h_feat, feat_timer.millis());
   std::vector<const gnn::GraphData*> ptrs;
   ptrs.reserve(graphs.size());
   for (const auto& g : graphs) ptrs.push_back(&g);
 
+  util::Timer pred_timer;
   tensor::Tensor main_pred = models_.regression_main->predict_graphs(ptrs);
   tensor::Tensor bram_pred = models_.regression_bram->predict_graphs(ptrs);
   tensor::Tensor valid_pred = models_.classifier->predict_graphs(ptrs);
+  obs::observe(h_pred, pred_timer.millis());
 
   static obs::Counter& c_pruned = obs::counter("dse.pruned_by_classifier");
   std::int64_t pruned = 0;
@@ -212,10 +229,22 @@ ModelDse::TopEvaluation ModelDse::evaluate_top(const kir::Kernel& kernel,
   TopEvaluation ev;
   double best_fit = std::numeric_limits<double>::infinity();
   auto run_batch = [&](const std::vector<RankedDesign>& batch) {
+    // The batch runs on the thread pool the way GNN-DSE hands its top-10
+    // to parallel Merlin instances; simulated wall-clock is the slowest
+    // member. Results land in rank order and the fold below is serial, so
+    // the chosen best is independent of thread count.
+    std::vector<db::DataPoint> points(batch.size());
+    util::parallel_for(
+        static_cast<std::int64_t>(batch.size()), 1,
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            const RankedDesign& d = batch[static_cast<std::size_t>(i)];
+            points[static_cast<std::size_t>(i)] = db::DataPoint{
+                kernel.name, d.config, hls.evaluate(kernel, d.config)};
+          }
+        });
     double batch_max = 0.0;
-    for (const RankedDesign& d : batch) {
-      db::DataPoint p{kernel.name, d.config, hls.evaluate(kernel, d.config)};
-      // Parallel evaluation: wall-clock is the slowest member of the batch.
+    for (db::DataPoint& p : points) {
       batch_max = std::max(batch_max, p.result.synth_seconds);
       if (out_db) out_db->add(p);
       const double f = db::fitness(p.result, util_threshold);

@@ -34,7 +34,9 @@ struct DseOptions {
   std::uint64_t max_exhaustive = 8'000;
   /// Beam width of the heuristic sweep for larger spaces.
   int beam_width = 32;
-  /// Featurization/inference chunk.
+  /// Featurization/inference chunk. Each chunk is featurized per-config
+  /// across the global thread pool (GNNDSE_THREADS), then predicted with
+  /// one batched model call per trainer.
   int chunk = 256;
   /// Ablation toggle: false disables the §4.4 innermost-first ordering and
   /// sweeps sites in declaration order instead.

@@ -4,59 +4,67 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace gnndse::gnn {
 
 GraphBatch make_batch(const std::vector<const GraphData*>& graphs) {
   if (graphs.empty()) throw std::invalid_argument("make_batch: empty batch");
   GraphBatch b;
-  std::int64_t n_total = 0, e_total = 0;
   const std::int64_t fn = graphs[0]->x.cols();
   const std::int64_t fe = graphs[0]->e.cols();
-  for (const GraphData* g : graphs) {
-    if (g->x.cols() != fn || g->e.cols() != fe)
+  // Serial prefix pass fixes every graph's node/edge offset so the copy
+  // loop below can fan out with each graph writing a disjoint slice.
+  std::vector<std::int64_t> n_offs(graphs.size() + 1, 0);
+  std::vector<std::int64_t> e_offs(graphs.size() + 1, 0);
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const GraphData& g = *graphs[gi];
+    if (g.x.cols() != fn || g.e.cols() != fe)
       throw std::invalid_argument("make_batch: feature width mismatch");
-    n_total += g->x.rows();
-    e_total += g->e.rows();
+    n_offs[gi + 1] = n_offs[gi] + g.x.rows();
+    e_offs[gi + 1] = e_offs[gi] + g.e.rows();
   }
+  const std::int64_t n_total = n_offs.back();
+  const std::int64_t e_total = e_offs.back();
 
   b.x = tensor::Tensor({n_total, fn});
   b.e = tensor::Tensor({e_total, fe});
-  b.src.reserve(static_cast<std::size_t>(e_total));
-  b.dst.reserve(static_cast<std::size_t>(e_total));
+  b.src.resize(static_cast<std::size_t>(e_total));
+  b.dst.resize(static_cast<std::size_t>(e_total));
   b.node_graph.resize(static_cast<std::size_t>(n_total));
   b.num_nodes = n_total;
   b.num_graphs = static_cast<std::int64_t>(graphs.size());
-  b.node_offset.assign(1, 0);
-
-  std::int64_t n_off = 0, e_off = 0;
-  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
-    const GraphData& g = *graphs[gi];
-    const std::int64_t n = g.x.rows(), e = g.e.rows();
-    std::copy_n(g.x.data(), n * fn, b.x.data() + n_off * fn);
-    std::copy_n(g.e.data(), e * fe, b.e.data() + e_off * fe);
-    for (std::int64_t i = 0; i < n; ++i)
-      b.node_graph[static_cast<std::size_t>(n_off + i)] =
-          static_cast<std::int32_t>(gi);
-    for (std::size_t k = 0; k < g.src.size(); ++k) {
-      b.src.push_back(static_cast<std::int32_t>(g.src[k] + n_off));
-      b.dst.push_back(static_cast<std::int32_t>(g.dst[k] + n_off));
-    }
-    n_off += n;
-    e_off += e;
-    b.node_offset.push_back(n_off);
-  }
+  b.node_offset.assign(n_offs.begin(), n_offs.end());
 
   // Per-graph aux rows (pragma-only features for the M1 baseline).
-  if (graphs[0]->aux.numel() > 0) {
-    const std::int64_t fa = graphs[0]->aux.numel();
-    b.aux = tensor::Tensor({b.num_graphs, fa});
-    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
-      if (graphs[gi]->aux.numel() != fa)
-        throw std::invalid_argument("make_batch: aux width mismatch");
-      std::copy_n(graphs[gi]->aux.data(), fa,
-                  b.aux.data() + static_cast<std::int64_t>(gi) * fa);
-    }
-  }
+  const std::int64_t fa = graphs[0]->aux.numel();
+  if (fa > 0) b.aux = tensor::Tensor({b.num_graphs, fa});
+
+  util::parallel_for(
+      static_cast<std::int64_t>(graphs.size()), 1,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t gl = begin; gl < end; ++gl) {
+          const auto gi = static_cast<std::size_t>(gl);
+          const GraphData& g = *graphs[gi];
+          const std::int64_t n_off = n_offs[gi], e_off = e_offs[gi];
+          const std::int64_t n = g.x.rows(), e = g.e.rows();
+          std::copy_n(g.x.data(), n * fn, b.x.data() + n_off * fn);
+          std::copy_n(g.e.data(), e * fe, b.e.data() + e_off * fe);
+          for (std::int64_t i = 0; i < n; ++i)
+            b.node_graph[static_cast<std::size_t>(n_off + i)] =
+                static_cast<std::int32_t>(gi);
+          for (std::size_t k = 0; k < g.src.size(); ++k) {
+            const auto ek = static_cast<std::size_t>(e_off) + k;
+            b.src[ek] = static_cast<std::int32_t>(g.src[k] + n_off);
+            b.dst[ek] = static_cast<std::int32_t>(g.dst[k] + n_off);
+          }
+          if (fa > 0) {
+            if (g.aux.numel() != fa)
+              throw std::invalid_argument("make_batch: aux width mismatch");
+            std::copy_n(g.aux.data(), fa, b.aux.data() + gl * fa);
+          }
+        }
+      });
 
   // Self-loop augmented lists and symmetric-normalized GCN coefficients.
   b.src_sl = b.src;
@@ -68,11 +76,16 @@ GraphBatch make_batch(const std::vector<const GraphData*>& graphs) {
   std::vector<float> deg(static_cast<std::size_t>(n_total), 0.0f);
   for (std::int32_t d : b.dst_sl) ++deg[static_cast<std::size_t>(d)];
   b.gcn_coeff.resize(b.src_sl.size());
-  for (std::size_t k = 0; k < b.src_sl.size(); ++k) {
-    const float du = deg[static_cast<std::size_t>(b.src_sl[k])];
-    const float dv = deg[static_cast<std::size_t>(b.dst_sl[k])];
-    b.gcn_coeff[k] = 1.0f / std::sqrt(du * dv);
-  }
+  util::parallel_for(
+      static_cast<std::int64_t>(b.src_sl.size()), 4096,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t k = begin; k < end; ++k) {
+          const auto ks = static_cast<std::size_t>(k);
+          const float du = deg[static_cast<std::size_t>(b.src_sl[ks])];
+          const float dv = deg[static_cast<std::size_t>(b.dst_sl[ks])];
+          b.gcn_coeff[ks] = 1.0f / std::sqrt(du * dv);
+        }
+      });
   return b;
 }
 

@@ -5,12 +5,14 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace gnndse::model {
 
 SampleFactory::KernelCache& SampleFactory::cache_for(
     const kir::Kernel& kernel) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(kernel.name);
   if (it != cache_.end()) return it->second;
 
@@ -108,14 +110,26 @@ Dataset build_dataset(const db::Database& database,
   std::map<std::string, const kir::Kernel*> by_name;
   for (const auto& k : kernels) by_name[k.name] = &k;
 
+  // Warm the per-kernel caches serially so the parallel featurization
+  // below never contends on building the same kernel's lowering products.
+  for (const auto& k : kernels) factory.space(k);
+
   Dataset ds;
-  ds.samples.reserve(database.size());
-  for (const auto& p : database.points()) {
-    auto it = by_name.find(p.kernel);
-    if (it == by_name.end())
-      throw std::invalid_argument("build_dataset: unknown kernel " + p.kernel);
-    ds.samples.push_back(factory.make(*it->second, p.config, p.result, norm));
-  }
+  const auto& points = database.points();
+  ds.samples.resize(points.size());
+  util::parallel_for(
+      static_cast<std::int64_t>(points.size()), 4,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto& p = points[static_cast<std::size_t>(i)];
+          auto it = by_name.find(p.kernel);
+          if (it == by_name.end())
+            throw std::invalid_argument("build_dataset: unknown kernel " +
+                                        p.kernel);
+          ds.samples[static_cast<std::size_t>(i)] =
+              factory.make(*it->second, p.config, p.result, norm);
+        }
+      });
   span.add("samples", static_cast<double>(ds.samples.size()));
   return ds;
 }

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,9 @@ struct Sample {
 };
 
 /// Caches per-kernel lowering products and featurizes design points.
+/// Thread-safe: featurize() may be called concurrently from the parallel
+/// DSE/trainer stages — the cache map is mutex-guarded and its entries are
+/// immutable once built (std::map nodes are reference-stable).
 class SampleFactory {
  public:
   SampleFactory() = default;
@@ -57,6 +61,7 @@ class SampleFactory {
   };
   KernelCache& cache_for(const kir::Kernel& kernel);
 
+  std::mutex mu_;
   std::map<std::string, KernelCache> cache_;
 };
 

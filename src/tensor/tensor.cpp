@@ -7,6 +7,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+
 namespace gnndse::tensor {
 namespace {
 
@@ -144,6 +147,45 @@ MatView view2d(const Tensor& t, bool trans) {
   return MatView{t.data(), t.dim(0), t.dim(1), trans};
 }
 
+/// Transpose-pack scratch reused across calls: the backward pass hits the
+/// trans_a/trans_b paths on every step, and a fresh heap allocation per
+/// call dominated small-batch gradient time. Thread-local so concurrent
+/// matmuls (e.g. from parallel DSE stages) never share a buffer; the
+/// operands are packed once by the caller, then read-only for all chunks
+/// of the row-parallel loop below.
+thread_local std::vector<float> tl_pack_a;
+thread_local std::vector<float> tl_pack_b;
+
+/// k-panel size of the blocked kernel: one panel of B (kKc x n floats)
+/// stays hot in L2 while the row sweep streams over A.
+constexpr std::int64_t kKc = 256;
+
+/// Fan out only when the product is worth a pool round-trip, and size the
+/// row grain so each chunk carries at least this many FLOPs.
+constexpr std::int64_t kParallelFlops = std::int64_t{1} << 20;
+
+/// Rows [i0, i1) of C += A x B on row-major packed operands. k advances in
+/// kKc panels, but for any output element the additions still happen in
+/// ascending-k order — the result is bit-identical to the plain i-k-j loop
+/// for every panel size and row split, which is what makes multi-threaded
+/// predictions reproducible (docs/performance.md).
+void matmul_rows(const float* ap, const float* bp, float* o, std::int64_t i0,
+                 std::int64_t i1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t x0 = 0; x0 < k; x0 += kKc) {
+    const std::int64_t x1 = std::min(k, x0 + kKc);
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* orow = o + i * n;
+      const float* arow = ap + i * k;
+      for (std::int64_t x = x0; x < x1; ++x) {
+        const float av_ix = arow[x];
+        if (av_ix == 0.0f) continue;
+        const float* brow = bp + x * n;
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av_ix * brow[j];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void matmul_acc(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
@@ -159,32 +201,35 @@ void matmul_acc(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
 
   float* o = out.data();
   // Hot layout: A [m,k] row-major, B [k,n] row-major -> i-k-j loop keeps B
-  // row accesses contiguous and vectorizable. Other layouts fall back to a
-  // transposed copy so the hot loop always runs on row-major operands.
+  // row accesses contiguous and vectorizable. Other layouts pack once into
+  // the thread-local scratch so the hot loop always runs on row-major
+  // operands.
   const float* ap = a.data();
   const float* bp = b.data();
-  std::vector<float> a_buf, b_buf;
   if (trans_a) {
-    a_buf.resize(static_cast<std::size_t>(m) * k);
+    tl_pack_a.resize(static_cast<std::size_t>(m) * k);
     for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t x = 0; x < k; ++x) a_buf[i * k + x] = av.at(i, x);
-    ap = a_buf.data();
+      for (std::int64_t x = 0; x < k; ++x) tl_pack_a[i * k + x] = av.at(i, x);
+    ap = tl_pack_a.data();
   }
   if (trans_b) {
-    b_buf.resize(static_cast<std::size_t>(k) * n);
+    tl_pack_b.resize(static_cast<std::size_t>(k) * n);
     for (std::int64_t x = 0; x < k; ++x)
-      for (std::int64_t j = 0; j < n; ++j) b_buf[x * n + j] = bv.at(x, j);
-    bp = b_buf.data();
+      for (std::int64_t j = 0; j < n; ++j) tl_pack_b[x * n + j] = bv.at(x, j);
+    bp = tl_pack_b.data();
   }
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* orow = o + i * n;
-    const float* arow = ap + i * k;
-    for (std::int64_t x = 0; x < k; ++x) {
-      const float av_ix = arow[x];
-      if (av_ix == 0.0f) continue;
-      const float* brow = bp + x * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av_ix * brow[j];
-    }
+
+  const std::int64_t flops = 2 * m * k * n;
+  if (flops >= kParallelFlops && !util::in_parallel_region()) {
+    static obs::Counter& c_par = obs::counter("tensor.parallel_matmuls");
+    obs::add(c_par);
+    const std::int64_t grain = std::max<std::int64_t>(
+        1, kParallelFlops / std::max<std::int64_t>(1, 2 * k * n));
+    util::parallel_for(m, grain, [&](std::int64_t i0, std::int64_t i1) {
+      matmul_rows(ap, bp, o, i0, i1, k, n);
+    });
+  } else {
+    matmul_rows(ap, bp, o, 0, m, k, n);
   }
 }
 

@@ -91,6 +91,11 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
 
 /// C += op(A) x op(B) into an existing output (used for grad accumulation).
+/// Above a FLOP threshold, rows of the output are split across the global
+/// thread pool (util/parallel.hpp) with an L2-blocked kernel; per-element
+/// accumulation order is fixed, so results are bit-identical at every
+/// thread count. Transposed operands are packed once into thread-local
+/// scratch shared read-only by all row chunks.
 void matmul_acc(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
                 Tensor& out);
 

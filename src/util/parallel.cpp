@@ -1,0 +1,185 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+
+namespace gnndse::util {
+namespace {
+
+/// Set while the thread is executing a parallel_for chunk; nested
+/// parallel_for calls check it and run inline.
+thread_local bool t_in_parallel = false;
+
+class Pool {
+ public:
+  explicit Pool(int lanes) : lanes_(lanes) {
+    workers_.reserve(static_cast<std::size_t>(lanes - 1));
+    for (int i = 0; i < lanes - 1; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int lanes() const { return lanes_; }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and queue drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  const int lanes_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+int default_lanes() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  return std::clamp(env_int("GNNDSE_THREADS", hw), 1, 256);
+}
+
+std::mutex& pool_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<Pool>& pool_slot() {
+  static std::unique_ptr<Pool> slot;
+  return slot;
+}
+
+/// The live pool, created on first use. Callers must hold pool_mu() only
+/// for the lookup; the returned pool outlives any in-flight parallel_for
+/// because set_parallel_threads must not race with active work.
+Pool& pool() {
+  std::lock_guard<std::mutex> lock(pool_mu());
+  auto& slot = pool_slot();
+  if (!slot) {
+    slot = std::make_unique<Pool>(default_lanes());
+    obs::set(obs::gauge("parallel.pool_size"),
+             static_cast<double>(slot->lanes()));
+  }
+  return *slot;
+}
+
+}  // namespace
+
+int parallel_threads() { return pool().lanes(); }
+
+void set_parallel_threads(int n) {
+  std::lock_guard<std::mutex> lock(pool_mu());
+  auto& slot = pool_slot();
+  slot.reset();  // join the old workers before re-sizing
+  if (n >= 1) {
+    slot = std::make_unique<Pool>(std::min(n, 256));
+    obs::set(obs::gauge("parallel.pool_size"),
+             static_cast<double>(slot->lanes()));
+  }
+  // n < 1: stay empty; the next parallel_for re-creates at the default.
+}
+
+bool in_parallel_region() { return t_in_parallel; }
+
+void parallel_for(std::int64_t n, std::int64_t grain, const ChunkFn& body) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  static obs::Counter& c_inline = obs::counter("parallel.inline_runs");
+  if (t_in_parallel) {  // nested: never fan out from inside a chunk
+    obs::add(c_inline);
+    body(0, n);
+    return;
+  }
+  Pool& p = pool();
+  // Static partition: floor(n/grain) keeps every chunk at least `grain`
+  // iterations; the remainder spreads one extra iteration over the first
+  // chunks so sizes differ by at most one.
+  const int chunks = static_cast<int>(
+      std::max<std::int64_t>(1, std::min<std::int64_t>(p.lanes(), n / grain)));
+  if (chunks <= 1) {
+    obs::add(c_inline);
+    body(0, n);
+    return;
+  }
+
+  struct Job {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int done = 0;
+    std::exception_ptr error;
+  } job;
+  const std::int64_t base = n / chunks;
+  const std::int64_t rem = n % chunks;
+  auto run_chunk = [&](int c) {
+    const std::int64_t begin =
+        c * base + std::min<std::int64_t>(c, rem);
+    const std::int64_t end = begin + base + (c < rem ? 1 : 0);
+    t_in_parallel = true;
+    try {
+      body(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    t_in_parallel = false;
+    {
+      // Notify while holding the lock: the instant the caller observes
+      // done == chunks it may destroy `job`, so a worker must never touch
+      // it after releasing mu.
+      std::lock_guard<std::mutex> lock(job.mu);
+      ++job.done;
+      job.done_cv.notify_one();
+    }
+  };
+  for (int c = 1; c < chunks; ++c) p.submit([&run_chunk, c] { run_chunk(c); });
+  run_chunk(0);
+  {
+    std::unique_lock<std::mutex> lock(job.mu);
+    job.done_cv.wait(lock, [&] { return job.done == chunks; });
+  }
+
+  static obs::Counter& c_runs = obs::counter("parallel.invocations");
+  static obs::Histogram& h_tasks = obs::histogram("parallel.tasks");
+  obs::add(c_runs);
+  obs::observe(h_tasks, static_cast<double>(chunks));
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace gnndse::util

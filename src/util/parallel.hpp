@@ -1,0 +1,49 @@
+// Shared parallel-execution layer: a lazily-initialized global thread pool
+// and a static-chunk parallel_for on top of it.
+//
+// Sizing: GNNDSE_THREADS (default: hardware_concurrency, min 1). The pool
+// owns size-1 worker threads and the calling thread fills the remaining
+// lane, so GNNDSE_THREADS=1 never spawns a thread and runs fully serial.
+//
+// Determinism: parallel_for only splits the index range — each chunk covers
+// a contiguous [begin, end) and runs the body exactly as the serial loop
+// would. Callers that write per-index results into disjoint slots (every
+// user in this repo does) get bit-identical output at every thread count.
+//
+// Re-entrancy: a parallel_for issued from inside a running chunk executes
+// inline on the calling thread (no nested fan-out, no deadlock).
+//
+// Telemetry (docs/performance.md): `parallel.pool_size` gauge,
+// `parallel.tasks` histogram (chunks per fan-out), and the
+// `parallel.invocations` / `parallel.inline_runs` counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace gnndse::util {
+
+/// Lanes the global pool schedules across (worker threads + the calling
+/// thread). Initializes the pool on first use.
+int parallel_threads();
+
+/// Re-sizes the global pool (benches and tests sweep thread counts this
+/// way; normal runs size once from GNNDSE_THREADS). n < 1 resets to the
+/// GNNDSE_THREADS / hardware default. Must not be called while a
+/// parallel_for is in flight on another thread.
+void set_parallel_threads(int n);
+
+/// True while the calling thread is executing a parallel_for chunk.
+bool in_parallel_region();
+
+using ChunkFn = std::function<void(std::int64_t, std::int64_t)>;
+
+/// Runs body(begin, end) over a static partition of [0, n): at most
+/// parallel_threads() contiguous chunks, each of at least `grain`
+/// iterations (grain < 1 behaves as 1). The caller executes the first
+/// chunk itself and blocks until every chunk has finished; the first
+/// exception thrown by any chunk is rethrown on the caller afterwards.
+/// Nested calls, n < 2*grain, and single-lane pools run inline.
+void parallel_for(std::int64_t n, std::int64_t grain, const ChunkFn& body);
+
+}  // namespace gnndse::util
