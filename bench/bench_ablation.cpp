@@ -41,10 +41,9 @@ model::RegressionMetrics train_and_eval(
 
 int main() {
   auto session = bench::make_report_session("bench_ablation");
-  hlssim::MerlinHls hls;
-  hls.set_cache_capacity(bench::kHlsCacheEntries);
+  oracle::OracleStack oracle;
   auto kernels = kernels::make_training_kernels();
-  db::Database database = bench::make_initial_database(hls);
+  db::Database database = bench::make_initial_database(oracle);
   model::Normalizer norm = model::Normalizer::fit(database.points());
   model::SampleFactory factory;
   model::Dataset ds = model::build_dataset(database, kernels, norm, factory);
@@ -117,12 +116,12 @@ int main() {
                  "budget; best design after HLS verification)"};
   a3.header({"Ordering", "#Explored", "Best cycles", "vs neutral"});
   const double neutral =
-      hls.evaluate(mvt, hlssim::DesignConfig::neutral(mvt)).cycles;
+      oracle.evaluate(mvt, hlssim::DesignConfig::neutral(mvt)).cycles;
   for (bool priority : {true, false}) {
     dopts.use_priority_order = priority;
     util::Rng rng(23);
     dse::DseResult r = model_dse.run(mvt, dopts, rng);
-    auto ev = model_dse.evaluate_top(mvt, r, hls);
+    auto ev = model_dse.evaluate_top(mvt, r, oracle);
     const double best =
         ev.best ? ev.best->result.cycles
                 : std::numeric_limits<double>::infinity();

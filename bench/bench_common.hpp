@@ -10,6 +10,7 @@
 
 #include "db/explorer.hpp"
 #include "dse/pipeline.hpp"
+#include "oracle/stack.hpp"
 #include "kernels/kernels.hpp"
 #include "obs/report.hpp"
 #include "util/env.hpp"
@@ -26,20 +27,17 @@ inline obs::ReportSession make_report_session(const std::string& tool) {
   return obs::ReportSession(tool, util::env_str(obs::kReportEnvVar));
 }
 
-/// HLS-substrate memo-cache bound for bench runs: DSE rounds and fallback
-/// batches re-evaluate repeated configs, and the cache turns those into
-/// hlssim.cache_hits. Microbenchmarks that time the evaluator itself
-/// should construct their own uncached MerlinHls instead.
-inline constexpr std::size_t kHlsCacheEntries = 1 << 18;
-
 inline constexpr std::uint64_t kDbSeed = 42;
 
 /// Deterministic initial database over the nine training kernels (§4.1,
-/// Table 1 budgets).
-inline db::Database make_initial_database(const hlssim::MerlinHls& hls) {
+/// Table 1 budgets). DSE rounds and fallback batches re-evaluate repeated
+/// configs; the oracle's cache turns those into oracle.hits.
+/// Microbenchmarks that time the evaluator itself should construct their
+/// own raw hlssim::MerlinHls instead.
+inline db::Database make_initial_database(oracle::Evaluator& oracle) {
   util::Rng rng(kDbSeed);
-  return db::generate_initial_database(kernels::make_training_kernels(), hls,
-                                       rng);
+  return db::generate_initial_database(kernels::make_training_kernels(),
+                                       oracle, rng);
 }
 
 /// Training scale for the shared (cached) model bundle.

@@ -20,10 +20,9 @@ using namespace gnndse;
 
 int main() {
   auto session = bench::make_report_session("bench_fig6_tsne");
-  hlssim::MerlinHls hls;
-  hls.set_cache_capacity(bench::kHlsCacheEntries);
+  oracle::OracleStack oracle;
   auto kernels = kernels::make_training_kernels();
-  db::Database database = bench::make_initial_database(hls);
+  db::Database database = bench::make_initial_database(oracle);
   model::SampleFactory factory;
   dse::PipelineOptions po = bench::scaled_pipeline_options();
   dse::TrainedModels models(database, kernels, factory, po,

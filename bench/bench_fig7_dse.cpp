@@ -16,10 +16,9 @@ using namespace gnndse;
 
 int main() {
   auto session = bench::make_report_session("bench_fig7_dse");
-  hlssim::MerlinHls hls;
-  hls.set_cache_capacity(bench::kHlsCacheEntries);
+  oracle::OracleStack oracle;
   auto kernels = kernels::make_training_kernels();
-  db::Database initial = bench::make_initial_database(hls);
+  db::Database initial = bench::make_initial_database(oracle);
 
   dse::PipelineOptions po = bench::scaled_pipeline_options();
   // Round retraining is the dominant cost; trim it below the shared-bundle
@@ -36,7 +35,7 @@ int main() {
   const int rounds = util::by_scale(2, 4, 4);
   util::Rng rng(17);
   dse::RoundsOutcome outcome =
-      dse::run_dse_rounds(initial, kernels, hls, rounds, po, dopts, rng);
+      dse::run_dse_rounds(initial, kernels, oracle, rounds, po, dopts, rng);
 
   util::Table t{"Fig 7: speedup vs best design in the initial database, per "
                 "DSE round"};

@@ -12,9 +12,9 @@ using namespace gnndse;
 namespace {
 
 struct Fixture {
-  // Deliberately uncached: BM_HlsEvaluation times the evaluator itself,
-  // not the memo cache the end-to-end benches enable.
-  hlssim::MerlinHls hls;
+  // Deliberately a bare SimEvaluator: BM_HlsEvaluation times the substrate
+  // itself, not the caching layer the end-to-end benches stack on top.
+  oracle::SimEvaluator hls;
   std::vector<kir::Kernel> kernels = kernels::make_training_kernels();
   db::Database database;
   model::SampleFactory factory;

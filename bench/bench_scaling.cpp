@@ -78,10 +78,9 @@ void write_json(const std::string& path, const std::vector<ScalePoint>& inf,
 
 int main() {
   auto session = bench::make_report_session("bench_scaling");
-  hlssim::MerlinHls hls;
-  hls.set_cache_capacity(bench::kHlsCacheEntries);
+  oracle::OracleStack oracle;
   auto kernels = kernels::make_training_kernels();
-  db::Database database = bench::make_initial_database(hls);
+  db::Database database = bench::make_initial_database(oracle);
   model::SampleFactory factory;
   dse::PipelineOptions po = bench::scaled_pipeline_options();
   dse::TrainedModels models(database, kernels, factory, po,

@@ -14,11 +14,10 @@ using namespace gnndse;
 
 int main() {
   auto session = bench::make_report_session("bench_table1");
-  hlssim::MerlinHls hls;
-  hls.set_cache_capacity(bench::kHlsCacheEntries);
+  oracle::OracleStack oracle;
   auto kernels = kernels::make_training_kernels();
 
-  db::Database initial = bench::make_initial_database(hls);
+  db::Database initial = bench::make_initial_database(oracle);
 
   // One round of model-driven DSE augments the database (top designs plus
   // their true objectives are committed back, §4.4).
@@ -35,7 +34,7 @@ int main() {
   db::Database final_db = initial;
   for (const auto& k : kernels) {
     dse::DseResult r = dse.run(k, dopts, rng);
-    dse.evaluate_top(k, r, hls, dopts.util_threshold, &final_db);
+    dse.evaluate_top(k, r, oracle, dopts.util_threshold, &final_db);
   }
 
   util::Table t{"Table 1: Design space and the database of the kernels used "

@@ -78,10 +78,9 @@ Row run_variant(ModelKind kind, const model::Dataset& ds,
 
 int main() {
   auto session = bench::make_report_session("bench_table2");
-  hlssim::MerlinHls hls;
-  hls.set_cache_capacity(bench::kHlsCacheEntries);
+  oracle::OracleStack oracle;
   auto kernels = kernels::make_training_kernels();
-  db::Database database = bench::make_initial_database(hls);
+  db::Database database = bench::make_initial_database(oracle);
   model::Normalizer norm = model::Normalizer::fit(database.points());
   model::SampleFactory factory;
   model::Dataset ds = model::build_dataset(database, kernels, norm, factory);

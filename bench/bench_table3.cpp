@@ -19,12 +19,11 @@ using namespace gnndse;
 
 int main() {
   auto session = bench::make_report_session("bench_table3");
-  hlssim::MerlinHls hls;
-  hls.set_cache_capacity(bench::kHlsCacheEntries);
+  oracle::OracleStack oracle;
   auto train_kernels = kernels::make_training_kernels();
   auto unseen = kernels::make_unseen_kernels();
 
-  db::Database database = bench::make_initial_database(hls);
+  db::Database database = bench::make_initial_database(oracle);
   model::SampleFactory factory;
   dse::PipelineOptions po = bench::scaled_pipeline_options();
   dse::TrainedModels models(database, train_kernels, factory, po,
@@ -48,11 +47,11 @@ int main() {
   for (const auto& k : unseen) {
     dspace::DesignSpace space(k);
     dse::DseResult r = model_dse.run(k, dopts, rng);
-    auto ev = model_dse.evaluate_top(k, r, hls, dopts.util_threshold);
+    auto ev = model_dse.evaluate_top(k, r, oracle, dopts.util_threshold);
     const double gnn_dse_seconds = r.search_seconds + ev.hls_seconds;
 
     dse::AutoDseOutcome base =
-        dse::run_autodse_baseline(k, hls, autodse_budget);
+        dse::run_autodse_baseline(k, oracle, autodse_budget);
     const double speedup = base.simulated_seconds / gnn_dse_seconds;
     speedup_sum += speedup;
     const double ours =

@@ -10,15 +10,16 @@
 #include "analysis/pareto.hpp"
 #include "db/explorer.hpp"
 #include "kernels/kernels.hpp"
+#include "oracle/stack.hpp"
 #include "util/table.hpp"
 
 using namespace gnndse;
 
 int main() {
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   auto kernels = kernels::make_training_kernels();
   util::Rng rng(42);
-  db::Database database = db::generate_initial_database(kernels, hls, rng);
+  db::Database database = db::generate_initial_database(kernels, oracle, rng);
 
   util::Table t{"Initial training database (explorers of section 4.1)"};
   t.header({"Kernel", "Points", "Valid", "Best cycles", "Worst cycles",

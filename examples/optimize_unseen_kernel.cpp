@@ -12,6 +12,7 @@
 #include "dse/dse.hpp"
 #include "dse/pipeline.hpp"
 #include "kernels/kernels.hpp"
+#include "oracle/stack.hpp"
 #include "util/env.hpp"
 
 using namespace gnndse;
@@ -48,13 +49,13 @@ kir::Kernel make_jacobi1d() {
 }  // namespace
 
 int main() {
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   auto train_kernels = kernels::make_training_kernels();
 
   std::printf("== training GNN-DSE on the 9-kernel benchmark database ==\n");
   util::Rng db_rng(42);
   db::Database database =
-      db::generate_initial_database(train_kernels, hls, db_rng);
+      db::generate_initial_database(train_kernels, oracle, db_rng);
   model::SampleFactory factory;
   dse::PipelineOptions po;
   po.main_epochs = util::by_scale(5, 12, 30);
@@ -73,9 +74,9 @@ int main() {
   dopts.time_limit_seconds = 20.0;
   util::Rng rng(5);
   dse::DseResult r = model_dse.run(jacobi, dopts, rng);
-  auto ev = model_dse.evaluate_top(jacobi, r, hls);
+  auto ev = model_dse.evaluate_top(jacobi, r, oracle);
   const double baseline =
-      hls.evaluate(jacobi, hlssim::DesignConfig::neutral(jacobi)).cycles;
+      oracle.evaluate(jacobi, hlssim::DesignConfig::neutral(jacobi)).cycles;
 
   std::printf("GNN-DSE explored %llu configs in %.1fs\n",
               static_cast<unsigned long long>(r.num_explored),
@@ -91,7 +92,7 @@ int main() {
 
   std::printf("\n== AutoDSE baseline (calls the HLS tool per candidate) ==\n");
   dse::AutoDseOutcome base =
-      dse::run_autodse_baseline(jacobi, hls, 21.0 * 3600.0);
+      dse::run_autodse_baseline(jacobi, oracle, 21.0 * 3600.0);
   std::printf("AutoDSE: %d evals, %.0f simulated seconds (%.1f h), best %.0f "
               "cycles\n",
               base.evals, base.simulated_seconds,

@@ -13,13 +13,14 @@
 #include "dse/dse.hpp"
 #include "dse/pipeline.hpp"
 #include "kernels/kernels.hpp"
+#include "oracle/stack.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
 using namespace gnndse;
 
 int main() {
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
 
   // Train on matrix/stencil kernels; hold out spmv-ellpack entirely.
   std::vector<kir::Kernel> train = {
@@ -27,7 +28,7 @@ int main() {
       kernels::make_kernel("stencil"), kernels::make_kernel("spmv-crs")};
   util::Rng rng(42);
   db::Database database = db::generate_initial_database(
-      train, hls, rng, [](const std::string&) { return 250; });
+      train, oracle, rng, [](const std::string&) { return 250; });
   model::SampleFactory factory;
   dse::PipelineOptions po;
   po.main_epochs = util::by_scale(5, 12, 30);
@@ -40,7 +41,7 @@ int main() {
   dspace::DesignSpace space(target);
   std::vector<db::DataPoint> all;
   space.for_each([&](const hlssim::DesignConfig& cfg) {
-    all.push_back({target.name, cfg, hls.evaluate(target, cfg)});
+    all.push_back({target.name, cfg, oracle.evaluate(target, cfg)});
   });
   auto true_front = analysis::pareto_front(all);
 
@@ -73,7 +74,7 @@ int main() {
       hits, r.top.size(), true_front.size());
 
   // And the single best pick after HLS verification:
-  auto ev = model_dse.evaluate_top(target, r, hls);
+  auto ev = model_dse.evaluate_top(target, r, oracle);
   if (ev.best) {
     double best_true = 1e30;
     for (auto i : true_front)

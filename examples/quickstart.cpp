@@ -13,6 +13,7 @@
 #include "db/explorer.hpp"
 #include "dse/pipeline.hpp"
 #include "kernels/kernels.hpp"
+#include "oracle/stack.hpp"
 #include "util/timer.hpp"
 
 using namespace gnndse;
@@ -30,16 +31,16 @@ int main() {
               static_cast<unsigned long long>(space.raw_size()));
 
   // -- 3. evaluate two designs with the HLS substrate ------------------------
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   hlssim::DesignConfig neutral = hlssim::DesignConfig::neutral(gemm);
-  hlssim::HlsResult base = hls.evaluate(gemm, neutral);
+  hlssim::HlsResult base = oracle.evaluate(gemm, neutral);
   std::printf("no pragmas:    %.0f cycles (synthesis would take %.0fs)\n",
               base.cycles, base.synth_seconds);
 
   hlssim::DesignConfig tuned = neutral;
   tuned.loops[2].pipeline = hlssim::PipeMode::kFine;  // pipeline loop k
   tuned.loops[1].parallel = 4;                        // unroll loop j by 4
-  hlssim::HlsResult opt = hls.evaluate(gemm, tuned);
+  hlssim::HlsResult opt = oracle.evaluate(gemm, tuned);
   std::printf("tuned pragmas: %.0f cycles, %.1fx faster, DSP util %.2f\n",
               opt.cycles, base.cycles / opt.cycles, opt.util_dsp);
 
@@ -53,7 +54,7 @@ int main() {
   // -- 5. a small surrogate --------------------------------------------------
   util::Rng rng(1);
   db::Database database = db::generate_initial_database(
-      {gemm}, hls, rng, [](const std::string&) { return 250; });
+      {gemm}, oracle, rng, [](const std::string&) { return 250; });
   std::printf("training database: %zu points (%zu valid)\n",
               database.counts_total().total, database.counts_total().valid);
 

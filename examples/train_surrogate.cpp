@@ -12,15 +12,16 @@
 #include "kernels/kernels.hpp"
 #include "model/trainer.hpp"
 #include "model/weights.hpp"
+#include "oracle/stack.hpp"
 #include "util/env.hpp"
 
 using namespace gnndse;
 
 int main(int argc, char**) {
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   auto kernels = kernels::make_training_kernels();
   util::Rng rng(42);
-  db::Database database = db::generate_initial_database(kernels, hls, rng);
+  db::Database database = db::generate_initial_database(kernels, oracle, rng);
   model::Normalizer norm = model::Normalizer::fit(database.points());
   model::SampleFactory factory;
   model::Dataset ds = model::build_dataset(database, kernels, norm, factory);

@@ -13,7 +13,7 @@ Usage:
 
 Default requirements (the standing pipeline stages):
   spans:    pipeline/train, pipeline/dse.search, pipeline/hls.evaluate_top
-  counters: dse.configs_explored, hlssim.evaluations
+  counters: dse.configs_explored, hlssim.evaluations, oracle.misses
 """
 
 import argparse
@@ -28,6 +28,9 @@ DEFAULT_SPANS = [
 DEFAULT_COUNTERS = [
     "dse.configs_explored",
     "hlssim.evaluations",
+    # Every evaluation flows through oracle::CachingEvaluator; a pipeline
+    # run always evaluates at least one uncached design.
+    "oracle.misses",
 ]
 
 HISTOGRAM_KEYS = ("count", "sum_ms", "min_ms", "max_ms", "p50_ms", "p95_ms",

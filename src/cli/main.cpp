@@ -23,6 +23,7 @@
 #include "kernels/kernels.hpp"
 #include "kernels/kernels_extension.hpp"
 #include "obs/report.hpp"
+#include "oracle/stack.hpp"
 #include "util/table.hpp"
 
 using namespace gnndse;
@@ -73,8 +74,8 @@ int cmd_eval(const cli::Args& args) {
                  cfg.loops.size(), k.loops.size());
     return 1;
   }
-  hlssim::MerlinHls hls;
-  auto r = hls.evaluate(k, cfg);
+  oracle::OracleStack oracle;
+  auto r = oracle.evaluate(k, cfg);
   std::printf("kernel:  %s\nconfig:  %s\n", k.name.c_str(), cfg.key().c_str());
   if (!r.valid) {
     std::printf("INVALID: %s (synthesis clock: %.0fs)\n",
@@ -110,15 +111,15 @@ int cmd_graph(const cli::Args& args) {
 }
 
 int cmd_gen_db(const cli::Args& args) {
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
   auto kernels = training_set(args.has("extension"));
   const int budget = args.get_int("budget", 0);
   db::Database db =
       budget > 0 ? db::generate_initial_database(
-                       kernels, hls, rng,
+                       kernels, oracle, rng,
                        [budget](const std::string&) { return budget; })
-                 : db::generate_initial_database(kernels, hls, rng);
+                 : db::generate_initial_database(kernels, oracle, rng);
   const std::string out = args.get("out", "gnndse_db.csv");
   db.save_csv(out);
   auto c = db.counts_total();
@@ -128,14 +129,14 @@ int cmd_gen_db(const cli::Args& args) {
 }
 
 int cmd_train(const cli::Args& args) {
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   auto kernels = training_set(args.has("extension"));
   db::Database db;
   if (args.has("db")) {
     db = db::Database::load_csv(args.get("db", ""));
   } else {
     util::Rng rng(42);
-    db = db::generate_initial_database(kernels, hls, rng);
+    db = db::generate_initial_database(kernels, oracle, rng);
   }
   model::SampleFactory factory;
   dse::PipelineOptions po;
@@ -155,15 +156,15 @@ int cmd_train(const cli::Args& args) {
 int cmd_dse(const cli::Args& args) {
   if (args.positional().size() < 2) return usage();
   kir::Kernel target = kernels::make_kernel(args.positional()[1]);
-  hlssim::MerlinHls hls;
-  hls.set_cache_capacity(1 << 18);  // top-M re-evaluations become cache hits
+  // The stack's cache turns top-M re-evaluations into oracle.hits.
+  oracle::OracleStack oracle;
   auto kernels = training_set(args.has("extension"));
   db::Database db;
   if (args.has("db")) {
     db = db::Database::load_csv(args.get("db", ""));
   } else {
     util::Rng rng(42);
-    db = db::generate_initial_database(kernels, hls, rng);
+    db = db::generate_initial_database(kernels, oracle, rng);
   }
   model::SampleFactory factory;
   dse::PipelineOptions po;
@@ -178,7 +179,7 @@ int cmd_dse(const cli::Args& args) {
   dopts.top_m = args.get_int("top", 10);
   util::Rng rng(13);
   dse::DseResult r = model_dse.run(target, dopts, rng);
-  auto ev = model_dse.evaluate_top(target, r, hls);
+  auto ev = model_dse.evaluate_top(target, r, oracle);
   std::printf("explored %llu configs in %.1fs; HLS check %.0fs (simulated)\n",
               static_cast<unsigned long long>(r.num_explored),
               r.search_seconds, ev.hls_seconds);
@@ -197,9 +198,9 @@ int cmd_dse(const cli::Args& args) {
 int cmd_autodse(const cli::Args& args) {
   if (args.positional().size() < 2) return usage();
   kir::Kernel k = kernels::make_kernel(args.positional()[1]);
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   const double budget = args.get_double("budget-hours", 21.0) * 3600.0;
-  auto out = dse::run_autodse_baseline(k, hls, budget);
+  auto out = dse::run_autodse_baseline(k, oracle, budget);
   std::printf("AutoDSE baseline on %s: %d evals, %.1f simulated hours\n"
               "best design: %s\n  %.0f cycles\n",
               k.name.c_str(), out.evals, out.simulated_seconds / 3600.0,

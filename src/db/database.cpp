@@ -1,6 +1,7 @@
 #include "db/database.hpp"
 
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
@@ -68,6 +69,9 @@ std::optional<DataPoint> Database::best_valid(const std::string& kernel,
 void Database::save_csv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("Database::save_csv: cannot open " + path);
+  // max_digits10 so cycles/synth_seconds survive the round trip exactly —
+  // the oracle's persistent cache replays loaded results as if fresh.
+  out << std::setprecision(17);
   out << "kernel,config,valid,reason,cycles,dsp,bram,lut,ff,synth_seconds\n";
   for (const auto& p : points_) {
     out << p.kernel << ',' << p.config.key() << ',' << (p.result.valid ? 1 : 0)

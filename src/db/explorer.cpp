@@ -21,15 +21,14 @@ double fitness(const HlsResult& r, double util_threshold) {
 }
 
 Explorer::Explorer(const kir::Kernel& kernel, const dspace::DesignSpace& space,
-                   const hlssim::MerlinHls& hls)
-    : kernel_(kernel), space_(space), hls_(hls) {}
+                   oracle::Evaluator& oracle)
+    : kernel_(kernel), space_(space), oracle_(oracle) {}
 
 HlsResult Explorer::evaluate(const DesignConfig& cfg, const EvalSink& sink) {
-  HlsResult r = hls_.evaluate(kernel_, cfg);
-  DataPoint p{kernel_.name, cfg, r};
-  if (seen_.add(p)) {
+  HlsResult r = oracle_.evaluate(kernel_, cfg);
+  if (visited_.insert(cfg.key()).second) {
     ++evals_;
-    if (sink) sink(p);
+    if (sink) sink(DataPoint{kernel_.name, cfg, r});
   }
   return r;
 }
@@ -84,7 +83,7 @@ DesignConfig Explorer::run_bottleneck(const ExplorerOptions& opts,
       DesignConfig round_best = best;
       double round_fit = best_fit;
       for (const DesignConfig& cand : site_variants(space_, site, best)) {
-        if (seen_.contains(kernel_.name, cand)) continue;
+        if (visited(cand)) continue;
         if (evals_ - start_evals >= opts.max_evals) break;
         HlsResult r = evaluate(cand, sink);
         batch_max_seconds = std::max(batch_max_seconds, r.synth_seconds);
@@ -121,7 +120,7 @@ DesignConfig Explorer::run_hybrid(const ExplorerOptions& opts,
       DesignConfig round_best = best;
       double round_fit = best_fit;
       for (const DesignConfig& cand : site_variants(space_, site, best)) {
-        if (seen_.contains(kernel_.name, cand)) continue;
+        if (visited(cand)) continue;
         if (evals_ - start_evals >= opts.max_evals) break;
         const double f = fitness(evaluate(cand, sink), opts.util_threshold);
         if (f < round_fit) {
@@ -144,7 +143,7 @@ DesignConfig Explorer::run_hybrid(const ExplorerOptions& opts,
         int budget = opts.local_search_neighbors;
         for (const auto& nb : neighbors) {
           if (budget-- <= 0 || evals_ - start_evals >= opts.max_evals) break;
-          if (seen_.contains(kernel_.name, nb)) continue;
+          if (visited(nb)) continue;
           const double f = fitness(evaluate(nb, sink), opts.util_threshold);
           if (f < best_fit) {
             best_fit = f;
@@ -162,7 +161,7 @@ void Explorer::run_random(int num_samples, const EvalSink& sink,
                           util::Rng& rng) {
   for (int i = 0; i < num_samples; ++i) {
     DesignConfig cfg = space_.sample(rng);
-    if (seen_.contains(kernel_.name, cfg)) continue;
+    if (visited(cfg)) continue;
     evaluate(cfg, sink);
   }
 }
@@ -182,12 +181,12 @@ int default_budget(const std::string& kernel_name) {
 }
 
 Database generate_initial_database(
-    const std::vector<kir::Kernel>& kernels, const hlssim::MerlinHls& hls,
+    const std::vector<kir::Kernel>& kernels, oracle::Evaluator& oracle,
     util::Rng& rng, const std::function<int(const std::string&)>& budget) {
   Database db;
   for (const auto& kernel : kernels) {
     dspace::DesignSpace space(kernel);
-    Explorer ex(kernel, space, hls);
+    Explorer ex(kernel, space, oracle);
     auto sink = [&db](const DataPoint& p) { db.add(p); };
 
     const int total = budget(kernel.name);

@@ -4,15 +4,18 @@
 //   * hybrid explorer — bottleneck + local search around improved designs,
 //   * random explorer — uniform coverage of configurations the other two
 //     skip.
-// Every evaluation is streamed to a sink so the caller can commit it to
-// the shared Database (Fig 2) and account simulated synthesis time.
+// Every evaluation goes through the shared oracle::Evaluator seam (which
+// owns caching and failure semantics) and is streamed to a sink so the
+// caller can commit it to the shared Database (Fig 2) and account
+// simulated synthesis time.
 #pragma once
 
 #include <functional>
+#include <unordered_set>
 
 #include "db/database.hpp"
 #include "dspace/design_space.hpp"
-#include "hlssim/hls_sim.hpp"
+#include "oracle/evaluator.hpp"
 #include "util/rng.hpp"
 
 namespace gnndse::db {
@@ -37,7 +40,7 @@ struct ExplorerOptions {
 class Explorer {
  public:
   Explorer(const kir::Kernel& kernel, const dspace::DesignSpace& space,
-           const hlssim::MerlinHls& hls);
+           oracle::Evaluator& oracle);
 
   /// AutoDSE-style greedy sweeps over the priority-ordered pragma sites.
   /// Returns the best configuration found. `simulated_seconds`, when
@@ -54,18 +57,24 @@ class Explorer {
   /// Uniform random sampling of non-pruned configurations.
   void run_random(int num_samples, const EvalSink& sink, util::Rng& rng);
 
-  /// Evaluates one configuration through the HLS substrate and reports it
-  /// to the sink (deduplicated per explorer instance).
+  /// Evaluates one configuration through the oracle and reports it to the
+  /// sink. Result memoization is the oracle's job; the explorer only
+  /// tracks which configs *this run* already visited, so budgets and sink
+  /// dedup behave identically whether the oracle's cache is cold or warm.
   hlssim::HlsResult evaluate(const hlssim::DesignConfig& cfg,
                              const EvalSink& sink);
 
   int evals_used() const { return evals_; }
 
  private:
+  bool visited(const hlssim::DesignConfig& cfg) const {
+    return visited_.count(cfg.key()) > 0;
+  }
+
   const kir::Kernel& kernel_;
   const dspace::DesignSpace& space_;
-  const hlssim::MerlinHls& hls_;
-  Database seen_;  // dedup within this explorer
+  oracle::Evaluator& oracle_;
+  std::unordered_set<std::string> visited_;  // config keys seen this run
   int evals_ = 0;
 };
 
@@ -74,9 +83,11 @@ class Explorer {
 int default_budget(const std::string& kernel_name);
 
 /// Builds the initial database for a set of kernels: bottleneck + hybrid +
-/// random explorers share a per-kernel budget (§4.1).
+/// random explorers share a per-kernel budget (§4.1). All evaluations flow
+/// through `oracle`; with a warm persistent cache a repeat run rebuilds
+/// the same database without a single fresh hlssim evaluation.
 Database generate_initial_database(
-    const std::vector<kir::Kernel>& kernels, const hlssim::MerlinHls& hls,
+    const std::vector<kir::Kernel>& kernels, oracle::Evaluator& oracle,
     util::Rng& rng,
     const std::function<int(const std::string&)>& budget = default_budget);
 

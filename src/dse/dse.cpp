@@ -221,7 +221,7 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
 
 ModelDse::TopEvaluation ModelDse::evaluate_top(const kir::Kernel& kernel,
                                                const DseResult& r,
-                                               const hlssim::MerlinHls& hls,
+                                               oracle::Evaluator& oracle,
                                                double util_threshold,
                                                db::Database* out_db) const {
   static obs::Counter& c_eval = obs::counter("dse.top_designs_evaluated");
@@ -229,22 +229,18 @@ ModelDse::TopEvaluation ModelDse::evaluate_top(const kir::Kernel& kernel,
   TopEvaluation ev;
   double best_fit = std::numeric_limits<double>::infinity();
   auto run_batch = [&](const std::vector<RankedDesign>& batch) {
-    // The batch runs on the thread pool the way GNN-DSE hands its top-10
-    // to parallel Merlin instances; simulated wall-clock is the slowest
-    // member. Results land in rank order and the fold below is serial, so
-    // the chosen best is independent of thread count.
-    std::vector<db::DataPoint> points(batch.size());
-    util::parallel_for(
-        static_cast<std::int64_t>(batch.size()), 1,
-        [&](std::int64_t begin, std::int64_t end) {
-          for (std::int64_t i = begin; i < end; ++i) {
-            const RankedDesign& d = batch[static_cast<std::size_t>(i)];
-            points[static_cast<std::size_t>(i)] = db::DataPoint{
-                kernel.name, d.config, hls.evaluate(kernel, d.config)};
-          }
-        });
+    // The oracle fans the batch out the way GNN-DSE hands its top-10 to
+    // parallel Merlin instances; simulated wall-clock is the slowest
+    // member. Results come back in rank order and the fold below is
+    // serial, so the chosen best is independent of thread count.
+    std::vector<hlssim::DesignConfig> configs;
+    configs.reserve(batch.size());
+    for (const RankedDesign& d : batch) configs.push_back(d.config);
+    std::vector<hlssim::HlsResult> results =
+        oracle.evaluate_batch(kernel, configs);
     double batch_max = 0.0;
-    for (db::DataPoint& p : points) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      db::DataPoint p{kernel.name, configs[i], std::move(results[i])};
       batch_max = std::max(batch_max, p.result.synth_seconds);
       if (out_db) out_db->add(p);
       const double f = db::fitness(p.result, util_threshold);
@@ -274,12 +270,12 @@ ModelDse::TopEvaluation ModelDse::evaluate_top(const kir::Kernel& kernel,
 }
 
 AutoDseOutcome run_autodse_baseline(const kir::Kernel& kernel,
-                                    const hlssim::MerlinHls& hls,
+                                    oracle::Evaluator& oracle,
                                     double time_budget_seconds,
                                     double util_threshold) {
   obs::ScopedSpan span("dse.autodse_baseline");
   dspace::DesignSpace space(kernel);
-  db::Explorer explorer(kernel, space, hls);
+  db::Explorer explorer(kernel, space, oracle);
   AutoDseOutcome out;
   out.best = DesignConfig::neutral(kernel);
   double best_fit = std::numeric_limits<double>::infinity();

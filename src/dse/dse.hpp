@@ -77,8 +77,9 @@ class ModelDse {
   DseResult run(const kir::Kernel& kernel, const DseOptions& opts,
                 util::Rng& rng);
 
-  /// Evaluates the top designs with the HLS substrate (the paper runs them
-  /// through Merlin in parallel: wall-clock = slowest member). Results are
+  /// Evaluates the top designs through the oracle (the paper runs them
+  /// through Merlin in parallel: wall-clock = slowest member; the batch
+  /// fan-out lives in oracle::Evaluator::evaluate_batch). Results are
   /// appended to `out_db` when provided. Returns the best fitting design
   /// and the simulated HLS seconds consumed.
   struct TopEvaluation {
@@ -87,7 +88,7 @@ class ModelDse {
     std::vector<db::DataPoint> evaluated;
   };
   TopEvaluation evaluate_top(const kir::Kernel& kernel, const DseResult& r,
-                             const hlssim::MerlinHls& hls,
+                             oracle::Evaluator& oracle,
                              double util_threshold = 0.8,
                              db::Database* out_db = nullptr) const;
 
@@ -102,7 +103,7 @@ class ModelDse {
 };
 
 /// AutoDSE baseline (Table 3): the bottleneck explorer against the HLS
-/// substrate, with simulated synthesis wall-clock accounting.
+/// oracle, with simulated synthesis wall-clock accounting.
 struct AutoDseOutcome {
   hlssim::DesignConfig best;
   double best_cycles = 0.0;
@@ -110,7 +111,7 @@ struct AutoDseOutcome {
   int evals = 0;
 };
 AutoDseOutcome run_autodse_baseline(const kir::Kernel& kernel,
-                                    const hlssim::MerlinHls& hls,
+                                    oracle::Evaluator& oracle,
                                     double time_budget_seconds,
                                     double util_threshold = 0.8);
 

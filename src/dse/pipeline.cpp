@@ -95,7 +95,7 @@ ModelBundle TrainedModels::bundle() {
 
 RoundsOutcome run_dse_rounds(const db::Database& initial_db,
                              const std::vector<kir::Kernel>& kernels,
-                             const hlssim::MerlinHls& hls, int rounds,
+                             oracle::Evaluator& oracle, int rounds,
                              const PipelineOptions& popts,
                              const DseOptions& dopts, util::Rng& rng) {
   RoundsOutcome out;
@@ -123,7 +123,7 @@ RoundsOutcome run_dse_rounds(const db::Database& initial_db,
     for (const auto& k : kernels) {
       DseResult r = dse.run(k, dopts, rng);
       auto ev =
-          dse.evaluate_top(k, r, hls, dopts.util_threshold, &out.final_db);
+          dse.evaluate_top(k, r, oracle, dopts.util_threshold, &out.final_db);
       // Fig 7 plots the design *this round's DSE* produced against the best
       // design of the initial database — early rounds can fall below 1x
       // when the model mispredicts unexplored regions (§4.4).

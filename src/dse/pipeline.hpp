@@ -61,10 +61,12 @@ struct RoundsOutcome {
 };
 
 /// Runs `rounds` rounds of train -> DSE -> HLS-evaluate-top-M -> augment DB
-/// (§4.4) over the given kernels, starting from `initial_db`.
+/// (§4.4) over the given kernels, starting from `initial_db`. Rounds share
+/// one oracle, so overlapping top-M designs across rounds are served from
+/// its cache instead of re-synthesized.
 RoundsOutcome run_dse_rounds(const db::Database& initial_db,
                              const std::vector<kir::Kernel>& kernels,
-                             const hlssim::MerlinHls& hls, int rounds,
+                             oracle::Evaluator& oracle, int rounds,
                              const PipelineOptions& popts,
                              const DseOptions& dopts, util::Rng& rng);
 

@@ -450,25 +450,11 @@ std::vector<LoopConfig> normalize_config(const Kernel& k,
 
 HlsResult MerlinHls::evaluate(const Kernel& k, const DesignConfig& cfg) const {
   static obs::Counter& c_evals = obs::counter("hlssim.evaluations");
-  static obs::Counter& c_hits = obs::counter("hlssim.cache_hits");
   static obs::Counter& c_timeouts = obs::counter("hlssim.timeouts");
   static obs::Counter& c_refusals = obs::counter("hlssim.refusals");
   static obs::Histogram& h_eval = obs::histogram("hlssim.evaluate_ms");
 
   obs::add(c_evals);
-  std::string key;
-  if (cache_capacity_ > 0) {
-    key = k.name;
-    key += '|';
-    key += cfg.key();
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      obs::add(c_hits);
-      return it->second;
-    }
-  }
-
   util::Timer timer;
   Evaluator ev(k, cfg, device_);
   HlsResult r = ev.run();
@@ -478,10 +464,6 @@ HlsResult MerlinHls::evaluate(const Kernel& k, const DesignConfig& cfg) const {
       if (r.invalid_reason.rfind("timeout", 0) == 0) c_timeouts.add();
       if (r.invalid_reason.rfind("refused", 0) == 0) c_refusals.add();
     }
-  }
-  if (cache_capacity_ > 0) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    if (cache_.size() < cache_capacity_) cache_.emplace(std::move(key), r);
   }
   return r;
 }

@@ -24,10 +24,7 @@
 //     comparisons (Table 3) are meaningful.
 #pragma once
 
-#include <cstddef>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "hlssim/config.hpp"
 #include "kir/kernel.hpp"
@@ -74,19 +71,12 @@ class MerlinHls {
  public:
   explicit MerlinHls(FpgaResources device = {}) : device_(device) {}
 
-  /// Evaluates one design point. Deterministic. Thread-safe; repeated
-  /// (kernel, config) pairs are served from the memo cache when enabled.
-  /// Telemetry: counts hlssim.evaluations / .cache_hits / .timeouts /
-  /// .refusals and times fresh runs into hlssim.evaluate_ms.
+  /// Evaluates one design point. Deterministic, stateless, and
+  /// thread-safe. Memoization lives one layer up, in
+  /// oracle::CachingEvaluator — this class always runs the simulator.
+  /// Telemetry: counts hlssim.evaluations / .timeouts / .refusals and
+  /// times every run into hlssim.evaluate_ms.
   HlsResult evaluate(const kir::Kernel& k, const DesignConfig& cfg) const;
-
-  /// Enables the result cache with the given entry bound (0 disables —
-  /// the default, so microbenchmarks keep measuring the evaluator itself).
-  /// Evaluation is deterministic, so cached replies are bit-identical;
-  /// inserts stop once the bound is reached.
-  void set_cache_capacity(std::size_t max_entries) {
-    cache_capacity_ = max_entries;
-  }
 
   const FpgaResources& device() const { return device_; }
 
@@ -96,9 +86,6 @@ class MerlinHls {
 
  private:
   FpgaResources device_;
-  std::size_t cache_capacity_ = 0;
-  mutable std::mutex cache_mu_;
-  mutable std::unordered_map<std::string, HlsResult> cache_;
 };
 
 }  // namespace gnndse::hlssim

@@ -1,0 +1,126 @@
+#include "oracle/caching.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "db/database.hpp"
+#include "obs/metrics.hpp"
+#include "oracle/fault.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace gnndse::oracle {
+namespace {
+
+std::string cache_key(const kir::Kernel& k, const hlssim::DesignConfig& cfg) {
+  std::string key = digest_key(k);
+  key += '|';
+  key += cfg.key();
+  return key;
+}
+
+obs::Histogram& persist_histogram() {
+  static obs::Histogram& h = obs::histogram("oracle.persist_ms");
+  return h;
+}
+
+}  // namespace
+
+CachingEvaluator::CachingEvaluator(Evaluator& inner, std::string persist_path)
+    : inner_(inner), persist_path_(std::move(persist_path)) {
+  if (!persist_path_.empty()) load();
+}
+
+CachingEvaluator::~CachingEvaluator() {
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    util::log_warn("oracle cache: flush to ", persist_path_,
+                   " failed: ", e.what());
+  }
+}
+
+void CachingEvaluator::load() {
+  // A missing file is a cold start, not an error.
+  if (!std::ifstream(persist_path_).good()) return;
+  util::Timer timer;
+  db::Database stored = db::Database::load_csv(persist_path_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& p : stored.points()) {
+      std::string key = p.kernel;
+      key += '|';
+      key += p.config.key();
+      cache_.emplace(std::move(key), p.result);
+    }
+  }
+  obs::observe(persist_histogram(), timer.millis());
+  util::log_info("oracle cache: loaded ", cache_.size(), " entries from ",
+                 persist_path_);
+}
+
+void CachingEvaluator::flush() {
+  std::vector<std::pair<std::string, hlssim::HlsResult>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (persist_path_.empty() || !dirty_) return;
+    entries.assign(cache_.begin(), cache_.end());
+    dirty_ = false;
+  }
+  // Deterministic file contents regardless of hash-map iteration order.
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  util::Timer timer;
+  db::Database stored;
+  for (auto& [key, result] : entries) {
+    const std::size_t bar = key.find('|');
+    db::DataPoint p;
+    p.kernel = key.substr(0, bar);
+    p.config = hlssim::parse_config_key(key.substr(bar + 1));
+    p.result = result;
+    stored.add(std::move(p));
+  }
+  stored.save_csv(persist_path_);
+  obs::observe(persist_histogram(), timer.millis());
+}
+
+hlssim::HlsResult CachingEvaluator::evaluate(const kir::Kernel& k,
+                                             const hlssim::DesignConfig& cfg) {
+  static obs::Counter& c_hits = obs::counter("oracle.hits");
+  static obs::Counter& c_misses = obs::counter("oracle.misses");
+
+  std::string key = cache_key(k, cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      obs::add(c_hits);
+      return it->second;
+    }
+  }
+  obs::add(c_misses);
+  hlssim::HlsResult r = inner_.evaluate(k, cfg);
+  // Evaluation is deterministic, so concurrent misses on the same key
+  // insert the same value; transient faults stay uncached.
+  if (!is_fault(r)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.emplace(std::move(key), r);
+    dirty_ = true;
+  }
+  return r;
+}
+
+bool CachingEvaluator::contains(const kir::Kernel& k,
+                                const hlssim::DesignConfig& cfg) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.count(cache_key(k, cfg)) > 0;
+}
+
+std::size_t CachingEvaluator::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace gnndse::oracle

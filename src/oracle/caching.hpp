@@ -1,0 +1,62 @@
+// CachingEvaluator: thread-safe, optionally persistent memo cache in front
+// of any oracle::Evaluator.
+//
+// Keyed by (kernel digest, canonical config string) — see
+// oracle::digest_key — so editing a kernel invalidates its entries while
+// every other kernel's warm results survive. Persistence reuses the
+// db::Database CSV format (the digest key rides in the kernel column):
+// pipeline rounds and repeated bench runs warm-start across processes via
+// GNNDSE_ORACLE_CACHE, and the journal-extension loop (arXiv:2111.08848)
+// that re-queries overlapping design points every round pays for each
+// point once.
+//
+// Transient "fault: ..." results (see fault.hpp) are never stored: a crash
+// is a property of one tool invocation, not of the design point.
+//
+// Telemetry: oracle.hits / oracle.misses counters, oracle.persist_ms
+// histogram (load + save).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "oracle/evaluator.hpp"
+
+namespace gnndse::oracle {
+
+class CachingEvaluator final : public Evaluator {
+ public:
+  /// Wraps `inner`. When `persist_path` is non-empty, an existing cache
+  /// CSV at that path is loaded immediately and the cache is saved back
+  /// there on destruction (and on flush()).
+  explicit CachingEvaluator(Evaluator& inner, std::string persist_path = "");
+  ~CachingEvaluator() override;
+
+  CachingEvaluator(const CachingEvaluator&) = delete;
+  CachingEvaluator& operator=(const CachingEvaluator&) = delete;
+
+  hlssim::HlsResult evaluate(const kir::Kernel& k,
+                             const hlssim::DesignConfig& cfg) override;
+
+  /// True when (k, cfg) is already cached (no evaluation performed).
+  bool contains(const kir::Kernel& k, const hlssim::DesignConfig& cfg) const;
+
+  /// Writes the cache to persist_path (no-op for in-memory caches).
+  void flush();
+
+  std::size_t size() const;
+  const std::string& persist_path() const { return persist_path_; }
+
+ private:
+  void load();
+
+  Evaluator& inner_;
+  std::string persist_path_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, hlssim::HlsResult> cache_;
+  bool dirty_ = false;
+};
+
+}  // namespace gnndse::oracle

@@ -1,0 +1,102 @@
+#include "oracle/evaluator.hpp"
+
+#include "util/parallel.hpp"
+
+namespace gnndse::oracle {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+struct Fnv1a {
+  std::uint64_t h = kFnvOffset;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= kFnvPrime;
+    }
+  }
+  void str(const std::string& s) {
+    bytes(s.data(), s.size());
+    u64(s.size());  // length-prefix so "ab"+"c" != "a"+"bc"
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(int v) { i64(v); }
+};
+
+}  // namespace
+
+std::uint64_t kernel_digest(const kir::Kernel& k) {
+  Fnv1a f;
+  f.str(k.name);
+  f.i32(k.num_functions);
+  for (int fn : k.loop_function) f.i32(fn);
+  for (const auto& a : k.arrays) {
+    f.str(a.name);
+    f.i64(a.num_elems);
+    f.i32(a.elem_bits);
+    f.i32(a.off_chip ? 1 : 0);
+  }
+  for (const auto& l : k.loops) {
+    f.str(l.name);
+    f.i64(l.trip_count);
+    f.i32(l.parent);
+    for (int c : l.children) f.i32(c);
+    for (int s : l.stmts) f.i32(s);
+    f.i32((l.can_pipeline ? 4 : 0) | (l.can_parallel ? 2 : 0) |
+          (l.can_tile ? 1 : 0));
+    for (std::int64_t o : l.parallel_options) f.i64(o);
+    for (std::int64_t o : l.tile_options) f.i64(o);
+  }
+  for (const auto& s : k.stmts) {
+    f.str(s.name);
+    f.i32(s.parent_loop);
+    f.i32(s.ops.adds);
+    f.i32(s.ops.muls);
+    f.i32(s.ops.divs);
+    f.i32(s.ops.cmps);
+    f.i32(s.ops.logic);
+    f.i32(s.ops.specials);
+    for (const auto& a : s.accesses) {
+      f.i32(a.array);
+      f.i32(a.is_write ? 1 : 0);
+      f.i32(static_cast<int>(a.kind));
+      f.i32(a.driving_loop);
+    }
+    f.i32(s.dep_loop);
+    f.i32(s.dep_distance);
+    f.i32(s.dep_latency);
+    f.i32(s.dep_associative ? 1 : 0);
+  }
+  for (int t : k.top_loops) f.i32(t);
+  return f.h;
+}
+
+std::string digest_key(const kir::Kernel& k) {
+  static const char* hex = "0123456789abcdef";
+  std::uint64_t d = kernel_digest(k);
+  std::string out = k.name;
+  out += '@';
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out += hex[(d >> shift) & 0xF];
+  return out;
+}
+
+std::vector<hlssim::HlsResult> Evaluator::evaluate_batch(
+    const kir::Kernel& k, const std::vector<hlssim::DesignConfig>& cfgs) {
+  std::vector<hlssim::HlsResult> results(cfgs.size());
+  // Each index fills its own slot, so the batch is bit-identical to the
+  // serial loop at every pool size (see src/util/parallel.hpp).
+  util::parallel_for(static_cast<std::int64_t>(cfgs.size()), 1,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i)
+                         results[static_cast<std::size_t>(i)] = evaluate(
+                             k, cfgs[static_cast<std::size_t>(i)]);
+                     });
+  return results;
+}
+
+}  // namespace gnndse::oracle

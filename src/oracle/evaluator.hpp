@@ -1,0 +1,80 @@
+// oracle::Evaluator — the single seam between the rest of the system and
+// the HLS oracle.
+//
+// The paper treats the HLS tool as an external oracle: slow, occasionally
+// crashing, sometimes timing out. Every consumer (explorers, the model-DSE
+// top-M check, the pipeline's augmentation rounds, the AutoDSE baseline,
+// the CLI and tools) used to talk to hlssim::MerlinHls directly and
+// reinvent its own plumbing — memo caches, dedup databases, hand-rolled
+// parallel batch loops. This layer owns all of that:
+//
+//   SimEvaluator            the substrate itself (wraps MerlinHls)
+//   FaultInjectingEvaluator deterministic transient tool crashes (fault.hpp)
+//   RetryingEvaluator       bounded retries + synthetic backoff (fault.hpp)
+//   CachingEvaluator        thread-safe persistent memo cache (caching.hpp)
+//   OracleStack             env-configured composition of the above
+//                           (stack.hpp) — what call sites construct
+//
+// Batched evaluation runs on the global thread pool (GNNDSE_THREADS) with
+// results folded in input order, so every consumer is deterministic at any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hlssim/hls_sim.hpp"
+#include "kir/kernel.hpp"
+
+namespace gnndse::oracle {
+
+/// Structural digest of a kernel (FNV-1a over name, loop forest, statement
+/// op mixes/accesses/recurrences, and arrays). Two kernels share a digest
+/// iff the oracle would score every configuration identically, so the
+/// digest — not just the name — keys the persistent cache: editing a
+/// kernel invalidates its cached evaluations automatically.
+std::uint64_t kernel_digest(const kir::Kernel& k);
+
+/// Cache identity of a kernel: "<name>@<digest-hex>". Stored in the kernel
+/// column of the persistent cache CSV.
+std::string digest_key(const kir::Kernel& k);
+
+/// Abstract HLS oracle. Implementations must be thread-safe: evaluate()
+/// is called concurrently from evaluate_batch() chunks.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Scores one design point. Never throws for tool-side failures; those
+  /// surface as HlsResult::valid == false with an invalid_reason of class
+  /// "refused: ...", "timeout: ...", or "fault: ..." (injected transient
+  /// crashes, see fault.hpp).
+  virtual hlssim::HlsResult evaluate(const kir::Kernel& k,
+                                     const hlssim::DesignConfig& cfg) = 0;
+
+  /// Scores a batch the way GNN-DSE hands its top-10 to parallel Merlin
+  /// instances. The default implementation fans evaluate() out across the
+  /// global thread pool; results[i] always corresponds to cfgs[i], so any
+  /// serial fold over the returned vector is independent of thread count.
+  virtual std::vector<hlssim::HlsResult> evaluate_batch(
+      const kir::Kernel& k, const std::vector<hlssim::DesignConfig>& cfgs);
+};
+
+/// The bottom of every stack: the Merlin-like analytic simulator.
+class SimEvaluator final : public Evaluator {
+ public:
+  explicit SimEvaluator(hlssim::FpgaResources device = {}) : hls_(device) {}
+
+  hlssim::HlsResult evaluate(const kir::Kernel& k,
+                             const hlssim::DesignConfig& cfg) override {
+    return hls_.evaluate(k, cfg);
+  }
+
+  const hlssim::MerlinHls& hls() const { return hls_; }
+
+ private:
+  hlssim::MerlinHls hls_;
+};
+
+}  // namespace gnndse::oracle

@@ -1,0 +1,89 @@
+#include "oracle/fault.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace gnndse::oracle {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// splitmix64 finisher: turns the key/attempt hash into a well-mixed draw.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double unit_draw(const std::string& key, std::uint64_t attempt,
+                 std::uint64_t seed) {
+  const std::uint64_t h = mix(fnv1a(key, 1469598103934665603ull ^ seed) +
+                              0x632be59bd9b4e019ull * (attempt + 1));
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjectingEvaluator::FaultInjectingEvaluator(Evaluator& inner, double rate,
+                                                 std::uint64_t seed)
+    : inner_(inner), rate_(rate), seed_(seed) {}
+
+hlssim::HlsResult FaultInjectingEvaluator::evaluate(
+    const kir::Kernel& k, const hlssim::DesignConfig& cfg) {
+  if (rate_ <= 0.0) return inner_.evaluate(k, cfg);
+  static obs::Counter& c_faults = obs::counter("oracle.faults_injected");
+
+  std::string key = digest_key(k);
+  key += '|';
+  key += cfg.key();
+  std::uint64_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[key]++;
+  }
+  if (unit_draw(key, attempt, seed_) >= rate_) return inner_.evaluate(k, cfg);
+
+  obs::add(c_faults);
+  hlssim::HlsResult r;
+  r.valid = false;
+  r.invalid_reason =
+      "fault: HLS tool crashed (injected, attempt " +
+      std::to_string(attempt + 1) + ")";
+  r.synth_seconds = kFaultSynthSeconds;
+  return r;
+}
+
+RetryingEvaluator::RetryingEvaluator(Evaluator& inner, int max_retries)
+    : inner_(inner), max_retries_(max_retries < 0 ? 0 : max_retries) {}
+
+hlssim::HlsResult RetryingEvaluator::evaluate(const kir::Kernel& k,
+                                              const hlssim::DesignConfig& cfg) {
+  static obs::Counter& c_retries = obs::counter("oracle.retries");
+
+  double wasted_seconds = 0.0;  // crashed attempts + backoff waits
+  for (int attempt = 0;; ++attempt) {
+    hlssim::HlsResult r = inner_.evaluate(k, cfg);
+    if (!is_fault(r)) {
+      r.synth_seconds += wasted_seconds;
+      return r;
+    }
+    if (attempt >= max_retries_) {
+      r.invalid_reason += " — retries exhausted after " +
+                          std::to_string(attempt + 1) + " attempts";
+      r.synth_seconds += wasted_seconds;
+      return r;
+    }
+    obs::add(c_retries);
+    wasted_seconds += r.synth_seconds +
+                      kBackoffBaseSeconds * static_cast<double>(1 << attempt);
+  }
+}
+
+}  // namespace gnndse::oracle

@@ -1,0 +1,83 @@
+// Transient-failure modeling for the HLS oracle.
+//
+// Real HLS tool chains do more than refuse or time out: the tool process
+// itself occasionally dies (license hiccups, OOM, scratch-disk races).
+// That is a *third* failure class — transient, retryable, and carrying no
+// information about the design point — which the paper's refused/timeout
+// taxonomy does not cover. FaultInjectingEvaluator simulates it
+// deterministically so the rest of the system can be hardened and tested
+// against it; RetryingEvaluator is that hardening.
+//
+// Fault decisions hash (kernel digest, config key, attempt index) against
+// GNNDSE_FAULT_RATE: no RNG state, so a run is reproducible at any thread
+// count and a retry of the same key sees a fresh, independent draw.
+//
+// Telemetry: oracle.faults_injected, oracle.retries.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "oracle/evaluator.hpp"
+
+namespace gnndse::oracle {
+
+/// True for the transient-crash failure class ("fault: ..." reasons).
+inline bool is_fault(const hlssim::HlsResult& r) {
+  return !r.valid && r.invalid_reason.rfind("fault:", 0) == 0;
+}
+
+class FaultInjectingEvaluator final : public Evaluator {
+ public:
+  /// Wall-clock a crashed tool invocation still burns before dying.
+  static constexpr double kFaultSynthSeconds = 60.0;
+
+  /// Injects a fault with probability `rate` per (key, attempt) pair,
+  /// decided by a deterministic hash seeded with `seed`. rate <= 0
+  /// disables injection entirely; rate >= 1 faults every call.
+  FaultInjectingEvaluator(Evaluator& inner, double rate,
+                          std::uint64_t seed = 0x5eedu);
+
+  hlssim::HlsResult evaluate(const kir::Kernel& k,
+                             const hlssim::DesignConfig& cfg) override;
+
+  double rate() const { return rate_; }
+
+ private:
+  Evaluator& inner_;
+  double rate_;
+  std::uint64_t seed_;
+  /// Per-key attempt counters so a retry re-rolls instead of hitting the
+  /// same deterministic verdict forever.
+  std::mutex mu_;
+  std::unordered_map<std::string, std::uint64_t> attempts_;
+};
+
+class RetryingEvaluator final : public Evaluator {
+ public:
+  /// Synthetic backoff before retry n (0-based): 30s * 2^n, added to the
+  /// returned result's synth_seconds together with the time the crashed
+  /// attempts burned.
+  static constexpr double kBackoffBaseSeconds = 30.0;
+
+  /// Retries transient faults up to `max_retries` times (so at most
+  /// 1 + max_retries attempts). Exhaustion returns the final fault result
+  /// — an invalid HlsResult, never an exception. Non-fault results
+  /// (valid, refused, timeout) pass through untouched on the first
+  /// attempt, which keeps a fault-free stack bit-identical to the bare
+  /// substrate.
+  RetryingEvaluator(Evaluator& inner, int max_retries);
+
+  hlssim::HlsResult evaluate(const kir::Kernel& k,
+                             const hlssim::DesignConfig& cfg) override;
+
+  int max_retries() const { return max_retries_; }
+
+ private:
+  Evaluator& inner_;
+  int max_retries_;
+};
+
+}  // namespace gnndse::oracle

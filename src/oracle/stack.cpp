@@ -1,0 +1,26 @@
+#include "oracle/stack.hpp"
+
+#include "util/env.hpp"
+
+namespace gnndse::oracle {
+
+OracleOptions OracleOptions::from_env() {
+  OracleOptions o;
+  o.cache_path = util::env_str("GNNDSE_ORACLE_CACHE");
+  o.fault_rate = util::env_double("GNNDSE_FAULT_RATE", o.fault_rate);
+  o.retries = util::env_int("GNNDSE_ORACLE_RETRIES", o.retries);
+  return o;
+}
+
+OracleStack::OracleStack(const OracleOptions& opts) : sim_(opts.device) {
+  Evaluator* below_cache = &sim_;
+  if (opts.fault_rate > 0.0) {
+    fault_ = std::make_unique<FaultInjectingEvaluator>(
+        sim_, opts.fault_rate, opts.fault_seed);
+    retry_ = std::make_unique<RetryingEvaluator>(*fault_, opts.retries);
+    below_cache = retry_.get();
+  }
+  cache_ = std::make_unique<CachingEvaluator>(*below_cache, opts.cache_path);
+}
+
+}  // namespace gnndse::oracle

@@ -1,0 +1,75 @@
+// OracleStack: the standard decorator composition call sites construct.
+//
+//   CachingEvaluator            (always — replaces the old MerlinHls memo
+//    └─ RetryingEvaluator        cache and the explorers' private dedup DBs)
+//        └─ FaultInjectingEvaluator   (only when the fault rate is > 0)
+//            └─ SimEvaluator
+//
+// Environment knobs (see docs/oracle.md):
+//   GNNDSE_ORACLE_CACHE=<path>  persistent cache CSV (load on start,
+//                               save on exit); unset -> in-memory only
+//   GNNDSE_FAULT_RATE=<p>       transient-crash probability per attempt
+//                               (default 0 — off)
+//   GNNDSE_ORACLE_RETRIES=<n>   retries per fault (default 3)
+//
+// With faults off (the default) the stack is bit-identical to calling
+// hlssim::MerlinHls directly: caching returns the memoized result of a
+// deterministic evaluator and the retry/fault layers are pass-through or
+// absent.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "oracle/caching.hpp"
+#include "oracle/evaluator.hpp"
+#include "oracle/fault.hpp"
+
+namespace gnndse::oracle {
+
+struct OracleOptions {
+  hlssim::FpgaResources device{};
+  /// Persistent cache CSV; empty = in-memory only.
+  std::string cache_path;
+  /// Probability of an injected transient crash per evaluation attempt.
+  double fault_rate = 0.0;
+  /// Bounded retries the stack spends on each transient fault.
+  int retries = 3;
+  std::uint64_t fault_seed = 0x5eedu;
+
+  /// Reads GNNDSE_ORACLE_CACHE / GNNDSE_FAULT_RATE / GNNDSE_ORACLE_RETRIES
+  /// on top of the defaults above.
+  static OracleOptions from_env();
+};
+
+class OracleStack final : public Evaluator {
+ public:
+  /// Default-constructed stacks honor the environment knobs, so
+  /// `oracle::OracleStack oracle;` is the drop-in replacement for the old
+  /// `hlssim::MerlinHls hls;` at every call site.
+  OracleStack() : OracleStack(OracleOptions::from_env()) {}
+  explicit OracleStack(const OracleOptions& opts);
+
+  hlssim::HlsResult evaluate(const kir::Kernel& k,
+                             const hlssim::DesignConfig& cfg) override {
+    return top().evaluate(k, cfg);
+  }
+  std::vector<hlssim::HlsResult> evaluate_batch(
+      const kir::Kernel& k,
+      const std::vector<hlssim::DesignConfig>& cfgs) override {
+    return top().evaluate_batch(k, cfgs);
+  }
+
+  CachingEvaluator& cache() { return *cache_; }
+  const hlssim::MerlinHls& hls() const { return sim_.hls(); }
+
+ private:
+  Evaluator& top() { return *cache_; }
+
+  SimEvaluator sim_;
+  std::unique_ptr<FaultInjectingEvaluator> fault_;  // nullptr when rate <= 0
+  std::unique_ptr<RetryingEvaluator> retry_;        // nullptr when rate <= 0
+  std::unique_ptr<CachingEvaluator> cache_;
+};
+
+}  // namespace gnndse::oracle

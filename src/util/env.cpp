@@ -32,4 +32,13 @@ int env_int(const std::string& name, int fallback) {
   return static_cast<int>(parsed);
 }
 
+double env_double(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
 }  // namespace gnndse::util

@@ -19,6 +19,10 @@ RunScale run_scale();
 /// Reads an integer env var, returning `fallback` when unset or malformed.
 int env_int(const std::string& name, int fallback);
 
+/// Reads a floating-point env var, returning `fallback` when unset or
+/// malformed.
+double env_double(const std::string& name, double fallback);
+
 /// Reads a string env var, returning `fallback` when unset or empty.
 std::string env_str(const std::string& name, const std::string& fallback = "");
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "kernels/kernels.hpp"
+#include "oracle/evaluator.hpp"
 
 namespace gnndse::db {
 namespace {
@@ -109,7 +110,7 @@ TEST(Fits, ChecksEveryResource) {
 
 class ExplorerTest : public ::testing::Test {
  protected:
-  hlssim::MerlinHls hls_;
+  oracle::SimEvaluator hls_;
   kir::Kernel kernel_ = kernels::make_kernel("gemm-ncubed");
   dspace::DesignSpace space_{kernel_};
 };
@@ -163,7 +164,7 @@ TEST_F(ExplorerTest, RandomRespectsBudgetAndDedup) {
 }
 
 TEST(InitialDatabase, RespectsBudgetsAndCoversKernels) {
-  hlssim::MerlinHls hls;
+  oracle::SimEvaluator hls;
   util::Rng rng(7);
   auto kernels = kernels::make_training_kernels();
   Database db = generate_initial_database(
@@ -185,7 +186,7 @@ TEST(InitialDatabase, DefaultBudgetsMatchTable1) {
 TEST(InitialDatabase, ContainsInvalidDesignsForClassifier) {
   // The model needs to see "bad" designs (§4.1); nw especially produces
   // many invalid points.
-  hlssim::MerlinHls hls;
+  oracle::SimEvaluator hls;
   util::Rng rng(7);
   Database db = generate_initial_database(
       {kernels::make_kernel("nw")}, hls, rng,

@@ -10,6 +10,7 @@
 
 #include "db/explorer.hpp"
 #include "kernels/kernels.hpp"
+#include "oracle/evaluator.hpp"
 
 namespace gnndse::dse {
 namespace {
@@ -25,7 +26,7 @@ PipelineOptions tiny_pipeline() {
 }
 
 db::Database tiny_db(const std::vector<kir::Kernel>& kernels, int budget) {
-  hlssim::MerlinHls hls;
+  oracle::SimEvaluator hls;
   util::Rng rng(33);
   return db::generate_initial_database(
       kernels, hls, rng, [budget](const std::string&) { return budget; });
@@ -43,7 +44,7 @@ class DseFixture : public ::testing::Test {
                                       models_->normalizer(), factory_);
   }
 
-  hlssim::MerlinHls hls_;
+  oracle::SimEvaluator hls_;
   std::vector<kir::Kernel> kernels_;
   db::Database database_;
   model::SampleFactory factory_;
@@ -104,7 +105,7 @@ TEST_F(DseFixture, EvaluateTopAppendsToDatabase) {
 
 TEST(AutoDseBaseline, ImprovesAndAccountsTime) {
   kir::Kernel k = kernels::make_kernel("gemm-ncubed");
-  hlssim::MerlinHls hls;
+  oracle::SimEvaluator hls;
   AutoDseOutcome out = run_autodse_baseline(k, hls, 6.0 * 3600.0);
   EXPECT_GT(out.evals, 20);
   EXPECT_GT(out.simulated_seconds, 0.0);
@@ -120,7 +121,7 @@ TEST(Rounds, ReportsPerRoundDseQuality) {
   auto kernels = std::vector<kir::Kernel>{kernels::make_kernel("spmv-crs"),
                                           kernels::make_kernel("spmv-ellpack")};
   db::Database initial = tiny_db(kernels, 60);
-  hlssim::MerlinHls hls;
+  oracle::SimEvaluator hls;
   DseOptions dopts;
   dopts.top_m = 5;
   util::Rng rng(5);

@@ -11,6 +11,7 @@
 #include "kernels/kernels.hpp"
 #include "model/trainer.hpp"
 #include "obs/report.hpp"
+#include "oracle/stack.hpp"
 #include "util/timer.hpp"
 
 namespace gnndse {
@@ -24,7 +25,10 @@ obs::ReportSession g_report_session("test_integration");
 class EndToEnd : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    hls_ = new hlssim::MerlinHls();
+    // Env-driven stack: the dse_fault_degradation ctest reruns this
+    // binary with GNNDSE_FAULT_RATE set to exercise fault injection
+    // and retry through the whole pipeline.
+    hls_ = new oracle::OracleStack();
     // Matrix-kernels domain: train on atax/gemm/gesummv-like structure,
     // keep bicg unseen.
     kernels_ = new std::vector<kir::Kernel>{
@@ -50,14 +54,14 @@ class EndToEnd : public ::testing::Test {
     delete hls_;
   }
 
-  static hlssim::MerlinHls* hls_;
+  static oracle::OracleStack* hls_;
   static std::vector<kir::Kernel>* kernels_;
   static db::Database* db_;
   static model::SampleFactory* factory_;
   static dse::TrainedModels* models_;
 };
 
-hlssim::MerlinHls* EndToEnd::hls_ = nullptr;
+oracle::OracleStack* EndToEnd::hls_ = nullptr;
 std::vector<kir::Kernel>* EndToEnd::kernels_ = nullptr;
 db::Database* EndToEnd::db_ = nullptr;
 model::SampleFactory* EndToEnd::factory_ = nullptr;

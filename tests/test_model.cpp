@@ -14,12 +14,13 @@
 
 #include "db/explorer.hpp"
 #include "kernels/kernels.hpp"
+#include "oracle/evaluator.hpp"
 
 namespace gnndse::model {
 namespace {
 
 db::Database small_db(const std::vector<kir::Kernel>& kernels, int budget) {
-  hlssim::MerlinHls hls;
+  oracle::SimEvaluator hls;
   util::Rng rng(21);
   return db::generate_initial_database(
       kernels, hls, rng, [budget](const std::string&) { return budget; });

@@ -10,6 +10,7 @@
 #include "kernels/kernels.hpp"
 #include "kernels/kernels_extension.hpp"
 #include "model/trainer.hpp"
+#include "oracle/evaluator.hpp"
 
 namespace gnndse {
 namespace {
@@ -84,7 +85,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(BatchingInvariance, BatchedEqualsPerGraphPrediction) {
   // The disjoint-union batch must predict exactly what per-graph forward
   // passes predict (attention softmax and pooling are per-graph).
-  hlssim::MerlinHls hls;
+  oracle::SimEvaluator hls;
   auto kernels = std::vector<kir::Kernel>{kernels::make_kernel("spmv-crs"),
                                           kernels::make_kernel("aes")};
   util::Rng rng(55);
@@ -148,7 +149,7 @@ TEST(BatchingInvariance, EmbeddingsMatchAcrossChunkBoundaries) {
 TEST(ExplorerProperty, SinkSeesEveryUniqueEvaluation) {
   kir::Kernel k = kernels::make_kernel("doitgen");
   dspace::DesignSpace space(k);
-  hlssim::MerlinHls hls;
+  oracle::SimEvaluator hls;
   db::Explorer ex(k, space, hls);
   int sink_calls = 0;
   db::ExplorerOptions opts;

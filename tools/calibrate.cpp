@@ -8,14 +8,14 @@
 #include <vector>
 
 #include "dspace/design_space.hpp"
-#include "hlssim/hls_sim.hpp"
 #include "kernels/kernels.hpp"
+#include "oracle/stack.hpp"
 #include "util/rng.hpp"
 
 using namespace gnndse;
 
 int main() {
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   util::Rng rng(7);
   std::vector<std::string> names = kernels::training_kernel_names();
   for (const auto& n : kernels::unseen_kernel_names()) names.push_back(n);
@@ -33,7 +33,7 @@ int main() {
     int valid = 0;
     for (int s = 0; s < samples; ++s) {
       auto cfg = ds.sample(rng);
-      auto r = hls.evaluate(k, cfg);
+      auto r = oracle.evaluate(k, cfg);
       if (!r.valid) continue;
       ++valid;
       min_lat = std::min(min_lat, r.cycles);
@@ -45,7 +45,7 @@ int main() {
       max_syn = std::max(max_syn, r.synth_seconds);
     }
     // Also evaluate the neutral (no-pragma) design.
-    auto rn = hls.evaluate(k, hlssim::DesignConfig::neutral(k));
+    auto rn = oracle.evaluate(k, hlssim::DesignConfig::neutral(k));
     std::printf(
         "%-14s %6d %14llu %14llu | %10.0f %10.0f %5.1f%% | %8.2f %8.2f %8.2f "
         "%8.2f | %7.0fs  neutral=%.0f%s\n",

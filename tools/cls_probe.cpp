@@ -4,17 +4,18 @@
 #include "db/explorer.hpp"
 #include "kernels/kernels.hpp"
 #include "model/trainer.hpp"
+#include "oracle/stack.hpp"
 
 using namespace gnndse;
 
 int main(int argc, char** argv) {
   const int epochs = argc > 1 ? std::atoi(argv[1]) : 30;
   const float lr = argc > 2 ? std::atof(argv[2]) : 1e-3f;
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   util::Rng rng(21);
   auto kernels = std::vector<kir::Kernel>{kernels::make_kernel("nw")};
   db::Database database = db::generate_initial_database(
-      kernels, hls, rng, [](const std::string&) { return 150; });
+      kernels, oracle, rng, [](const std::string&) { return 150; });
   auto c = database.counts_total();
   std::printf("db: %zu total, %zu valid\n", c.total, c.valid);
   model::Normalizer norm = model::Normalizer::fit(database.points());

@@ -7,6 +7,7 @@
 #include "db/explorer.hpp"
 #include "kernels/kernels.hpp"
 #include "model/trainer.hpp"
+#include "oracle/stack.hpp"
 #include "util/timer.hpp"
 
 using namespace gnndse;
@@ -16,12 +17,12 @@ int main(int argc, char** argv) {
   const std::int64_t hidden = argc > 2 ? std::atoi(argv[2]) : 64;
 
   util::Timer total;
-  hlssim::MerlinHls hls;
+  oracle::OracleStack oracle;
   util::Rng rng(42);
   auto kernels = kernels::make_training_kernels();
 
   util::Timer t_db;
-  db::Database database = db::generate_initial_database(kernels, hls, rng);
+  db::Database database = db::generate_initial_database(kernels, oracle, rng);
   auto counts = database.counts_total();
   std::printf("database: %zu points (%zu valid) in %.1fs\n", counts.total,
               counts.valid, t_db.seconds());
