@@ -31,6 +31,12 @@ DEFAULT_COUNTERS = [
     # Every evaluation flows through oracle::CachingEvaluator; a pipeline
     # run always evaluates at least one uncached design.
     "oracle.misses",
+    # The inference fast path: each kernel's graph template is built at
+    # least once, and every DSE chunk prediction runs the tape-free
+    # forward. Their absence means the fast path silently fell out of the
+    # pipeline.
+    "gnn.template_misses",
+    "gnn.fastpath_forwards",
 ]
 
 HISTOGRAM_KEYS = ("count", "sum_ms", "min_ms", "max_ms", "p50_ms", "p95_ms",

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # ThreadSanitizer pass over the parallel-execution layer: configures a
 # -DGNNDSE_TSAN=ON build in build-tsan/, builds the thread-safety suites
-# (test_parallel, test_obs, test_oracle), and runs them via `ctest -L tsan`.
+# (test_parallel, test_obs, test_oracle, test_fastpath), and runs them via
+# `ctest -L tsan`.
 #
 # Usage: scripts/check_tsan.sh [build-dir]     (default: build-tsan)
 # Exits 0 with a notice when the toolchain has no usable TSan runtime
@@ -31,5 +32,5 @@ if ! "$CXX_BIN" -fsanitize=thread -o "$probe_dir/probe" "$probe_dir/probe.cpp" \
 fi
 
 cmake -B "$BUILD_DIR" -S . -DGNNDSE_TSAN=ON
-cmake --build "$BUILD_DIR" --target test_parallel test_obs test_oracle -j
+cmake --build "$BUILD_DIR" --target test_parallel test_obs test_oracle test_fastpath -j
 ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j

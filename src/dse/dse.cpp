@@ -59,48 +59,77 @@ void apply_site(const dspace::PragmaSite& site, std::int64_t opt,
 }  // namespace
 
 void ModelDse::score_chunk(const kir::Kernel& kernel,
-                           const std::vector<DesignConfig>& configs,
-                           std::vector<RankedDesign>& ranked) {
+                           std::vector<DesignConfig>& configs,
+                           std::vector<RankedDesign>& ranked,
+                           bool use_fast_path) {
   if (configs.empty()) return;
   static obs::Histogram& h_feat = obs::histogram("dse.featurize_chunk_ms");
   static obs::Histogram& h_pred = obs::histogram("dse.predict_chunk_ms");
-  // Per-config featurization fans out across the pool (the per-kernel
-  // lowering cache is already warm — run() touched it via space()); each
-  // index writes its own slot, so chunk order never affects the result.
-  // Prediction stays one batched model call per trainer, whose matmuls
-  // parallelize internally.
-  util::Timer feat_timer;
-  std::vector<gnn::GraphData> graphs(configs.size());
-  util::parallel_for(
-      static_cast<std::int64_t>(configs.size()), 8,
-      [&](std::int64_t begin, std::int64_t end) {
-        for (std::int64_t i = begin; i < end; ++i)
-          graphs[static_cast<std::size_t>(i)] =
-              factory_.featurize(kernel, configs[static_cast<std::size_t>(i)]);
-      });
-  obs::observe(h_feat, feat_timer.millis());
-  std::vector<const gnn::GraphData*> ptrs;
-  ptrs.reserve(graphs.size());
-  for (const auto& g : graphs) ptrs.push_back(&g);
 
-  util::Timer pred_timer;
-  tensor::Tensor main_pred = models_.regression_main->predict_graphs(ptrs);
-  tensor::Tensor bram_pred = models_.regression_bram->predict_graphs(ptrs);
-  tensor::Tensor valid_pred = models_.classifier->predict_graphs(ptrs);
-  obs::observe(h_pred, pred_timer.millis());
+  const tensor::Tensor* main_pred = nullptr;
+  const tensor::Tensor* bram_pred = nullptr;
+  const tensor::Tensor* valid_pred = nullptr;
+  // Tape-path temporaries (owning); the fast path borrows the per-trainer
+  // inference workspaces instead (three distinct sessions, so all three
+  // references stay valid through the fill loop).
+  tensor::Tensor main_t, bram_t, valid_t;
+
+  if (use_fast_path) {
+    // One shared batch for the whole chunk: the skeleton (topology,
+    // static features) comes from the factory cache; only the pragma
+    // slots are rewritten per config (fans out across the pool).
+    util::Timer feat_timer;
+    const gnn::GraphBatch& batch = factory_.batch_for(kernel, configs);
+    obs::observe(h_feat, feat_timer.millis());
+
+    util::Timer pred_timer;
+    main_pred = &models_.regression_main->predict_batch(batch);
+    bram_pred = &models_.regression_bram->predict_batch(batch);
+    valid_pred = &models_.classifier->predict_batch(batch);
+    obs::observe(h_pred, pred_timer.millis());
+  } else {
+    // Legacy tape path (bench_fastpath's baseline): full per-config
+    // featurization (featurize_full recomputes the node-feature matrix
+    // from the program graph instead of copying the cached template —
+    // that is what every release before the fast path did), then one
+    // batched tape forward per head.
+    util::Timer feat_timer;
+    std::vector<gnn::GraphData> graphs(configs.size());
+    util::parallel_for(
+        static_cast<std::int64_t>(configs.size()), 8,
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i)
+            graphs[static_cast<std::size_t>(i)] = factory_.featurize_full(
+                kernel, configs[static_cast<std::size_t>(i)]);
+        });
+    obs::observe(h_feat, feat_timer.millis());
+    std::vector<const gnn::GraphData*> ptrs;
+    ptrs.reserve(graphs.size());
+    for (const auto& g : graphs) ptrs.push_back(&g);
+
+    util::Timer pred_timer;
+    main_t = models_.regression_main->predict_graphs_tape(ptrs);
+    bram_t = models_.regression_bram->predict_graphs_tape(ptrs);
+    valid_t = models_.classifier->predict_graphs_tape(ptrs);
+    obs::observe(h_pred, pred_timer.millis());
+    main_pred = &main_t;
+    bram_pred = &bram_t;
+    valid_pred = &valid_t;
+  }
 
   static obs::Counter& c_pruned = obs::counter("dse.pruned_by_classifier");
   std::int64_t pruned = 0;
+  ranked.reserve(ranked.size() + configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     RankedDesign d;
-    d.config = configs[i];
+    d.config = std::move(configs[i]);
     const auto row = static_cast<std::int64_t>(i);
-    d.predicted[model::kLatency] = main_pred.at(row, 0);
-    d.predicted[model::kDsp] = main_pred.at(row, 1);
-    d.predicted[model::kLut] = main_pred.at(row, 2);
-    d.predicted[model::kFf] = main_pred.at(row, 3);
-    d.predicted[model::kBram] = bram_pred.at(row, 0);
-    d.p_valid = sigmoidf(valid_pred.at(row, 0));
+    d.predicted[model::kLatency] = main_pred->at(row, 0);
+    d.predicted[model::kDsp] = main_pred->at(row, 1);
+    d.predicted[model::kLut] = main_pred->at(row, 2);
+    d.predicted[model::kFf] = main_pred->at(row, 3);
+    d.predicted[model::kBram] = bram_pred->at(row, 0);
+    d.p_valid = sigmoidf(valid_pred->at(row, 0));
     if (d.p_valid < 0.5f) ++pruned;
     ranked.push_back(std::move(d));
   }
@@ -120,7 +149,7 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
   std::vector<RankedDesign> ranked;
 
   auto flush_and_keep_top = [&](std::vector<DesignConfig>& pending) {
-    score_chunk(kernel, pending, ranked);
+    score_chunk(kernel, pending, ranked, opts.use_fast_path);
     result.num_explored += pending.size();
     obs::add(c_explored, static_cast<std::int64_t>(pending.size()));
     pending.clear();

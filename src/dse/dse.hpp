@@ -41,6 +41,11 @@ struct DseOptions {
   /// Ablation toggle: false disables the §4.4 innermost-first ordering and
   /// sweeps sites in declaration order instead.
   bool use_priority_order = true;
+  /// Inference fast path: score chunks through one shared, skeleton-cached
+  /// GraphBatch and the tape-free forward (bit-identical predictions).
+  /// false restores the legacy per-head tape path — kept for the
+  /// tape-vs-fast benchmark (bench_fastpath) and as an escape hatch.
+  bool use_fast_path = true;
 };
 
 struct RankedDesign {
@@ -93,9 +98,11 @@ class ModelDse {
                              db::Database* out_db = nullptr) const;
 
  private:
+  /// Scores one chunk and appends to `ranked`. Consumes `configs` (moves
+  /// them into the RankedDesigns); callers clear the vector afterwards.
   void score_chunk(const kir::Kernel& kernel,
-                   const std::vector<hlssim::DesignConfig>& configs,
-                   std::vector<RankedDesign>& ranked);
+                   std::vector<hlssim::DesignConfig>& configs,
+                   std::vector<RankedDesign>& ranked, bool use_fast_path);
 
   ModelBundle models_;
   const model::Normalizer& norm_;

@@ -1,6 +1,7 @@
 #include "gnn/batch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,17 +9,24 @@
 
 namespace gnndse::gnn {
 
-GraphBatch make_batch(const std::vector<const GraphData*>& graphs) {
-  if (graphs.empty()) throw std::invalid_argument("make_batch: empty batch");
+namespace {
+
+/// Shared batch assembly over any indexable graph range: both public
+/// overloads funnel here so their outputs are identical by construction.
+std::atomic<std::uint64_t> g_batch_id{0};
+
+template <typename GetGraph>
+GraphBatch make_batch_impl(std::size_t count, GetGraph&& graph_at) {
   GraphBatch b;
-  const std::int64_t fn = graphs[0]->x.cols();
-  const std::int64_t fe = graphs[0]->e.cols();
+  b.batch_id = g_batch_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::int64_t fn = graph_at(0).x.cols();
+  const std::int64_t fe = graph_at(0).e.cols();
   // Serial prefix pass fixes every graph's node/edge offset so the copy
   // loop below can fan out with each graph writing a disjoint slice.
-  std::vector<std::int64_t> n_offs(graphs.size() + 1, 0);
-  std::vector<std::int64_t> e_offs(graphs.size() + 1, 0);
-  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
-    const GraphData& g = *graphs[gi];
+  std::vector<std::int64_t> n_offs(count + 1, 0);
+  std::vector<std::int64_t> e_offs(count + 1, 0);
+  for (std::size_t gi = 0; gi < count; ++gi) {
+    const GraphData& g = graph_at(gi);
     if (g.x.cols() != fn || g.e.cols() != fe)
       throw std::invalid_argument("make_batch: feature width mismatch");
     n_offs[gi + 1] = n_offs[gi] + g.x.rows();
@@ -33,19 +41,19 @@ GraphBatch make_batch(const std::vector<const GraphData*>& graphs) {
   b.dst.resize(static_cast<std::size_t>(e_total));
   b.node_graph.resize(static_cast<std::size_t>(n_total));
   b.num_nodes = n_total;
-  b.num_graphs = static_cast<std::int64_t>(graphs.size());
+  b.num_graphs = static_cast<std::int64_t>(count);
   b.node_offset.assign(n_offs.begin(), n_offs.end());
 
   // Per-graph aux rows (pragma-only features for the M1 baseline).
-  const std::int64_t fa = graphs[0]->aux.numel();
+  const std::int64_t fa = graph_at(0).aux.numel();
   if (fa > 0) b.aux = tensor::Tensor({b.num_graphs, fa});
 
   util::parallel_for(
-      static_cast<std::int64_t>(graphs.size()), 1,
+      static_cast<std::int64_t>(count), 1,
       [&](std::int64_t begin, std::int64_t end) {
         for (std::int64_t gl = begin; gl < end; ++gl) {
           const auto gi = static_cast<std::size_t>(gl);
-          const GraphData& g = *graphs[gi];
+          const GraphData& g = graph_at(gi);
           const std::int64_t n_off = n_offs[gi], e_off = e_offs[gi];
           const std::int64_t n = g.x.rows(), e = g.e.rows();
           std::copy_n(g.x.data(), n * fn, b.x.data() + n_off * fn);
@@ -87,6 +95,30 @@ GraphBatch make_batch(const std::vector<const GraphData*>& graphs) {
         }
       });
   return b;
+}
+
+}  // namespace
+
+GraphBatch make_batch(const std::vector<const GraphData*>& graphs) {
+  if (graphs.empty()) throw std::invalid_argument("make_batch: empty batch");
+  return make_batch_impl(
+      graphs.size(),
+      [&](std::size_t i) -> const GraphData& { return *graphs[i]; });
+}
+
+GraphBatch make_batch(std::initializer_list<const GraphData*> graphs) {
+  if (graphs.size() == 0)
+    throw std::invalid_argument("make_batch: empty batch");
+  return make_batch_impl(
+      graphs.size(),
+      [&](std::size_t i) -> const GraphData& { return *graphs.begin()[i]; });
+}
+
+GraphBatch make_batch(std::span<const GraphData> graphs) {
+  if (graphs.empty()) throw std::invalid_argument("make_batch: empty batch");
+  return make_batch_impl(
+      graphs.size(),
+      [&](std::size_t i) -> const GraphData& { return graphs[i]; });
 }
 
 }  // namespace gnndse::gnn

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -33,11 +35,28 @@ struct GraphBatch {
   std::int64_t num_nodes = 0;
   std::int64_t num_graphs = 0;
 
+  /// Unique id per make_batch call (monotonic, never 0 for a built batch).
+  /// The batch's topology and edge features are immutable once built, so
+  /// the id keys caches of batch-derived values (TransformerConv keeps its
+  /// edge-feature projections per batch id; the DSE skeleton cache hands
+  /// the same batch to every chunk, turning those projections into
+  /// once-per-sweep work).
+  std::uint64_t batch_id = 0;
+
   /// Node index ranges per graph (for mapping pooled rows back).
   std::vector<std::int64_t> node_offset;  // size num_graphs + 1
 };
 
 /// Builds the batch. All graphs must share feature dimensions.
 GraphBatch make_batch(const std::vector<const GraphData*>& graphs);
+
+/// Braced-list convenience: `make_batch({&a, &b})`. Without it such calls
+/// are ambiguous between the pointer-vector and span overloads (a span is
+/// constructible from an iterator pair).
+GraphBatch make_batch(std::initializer_list<const GraphData*> graphs);
+
+/// Same, over a contiguous range — callers with a vector<GraphData> (the
+/// DSE chunk loop) skip the pointer-vector indirection.
+GraphBatch make_batch(std::span<const GraphData> graphs);
 
 }  // namespace gnndse::gnn

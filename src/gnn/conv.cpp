@@ -44,6 +44,16 @@ VarId GCNConv::forward(Tape& t, VarId x, const GraphBatch& b) {
   return lin_.forward(t, agg);
 }
 
+const Tensor& GCNConv::forward_infer(InferenceSession& s, const Tensor& x,
+                                     const GraphBatch& b) {
+  detail_count_message_pass(b);
+  // Fused gather/mul_colbcast/scatter: same products, same ascending-edge
+  // accumulation, no [E, D] intermediates.
+  const Tensor& agg = s.weighted_scatter_add(b.gcn_coeff.data(), x, nullptr,
+                                             b.src_sl, b.dst_sl, b.num_nodes);
+  return lin_.forward_infer(s, agg);
+}
+
 std::vector<tensor::Parameter*> GCNConv::params() { return lin_.params(); }
 
 // ---------------------------------------------------------------------------
@@ -68,6 +78,20 @@ VarId GATConv::forward(Tape& t, VarId x, const GraphBatch& b) {
   VarId msg = t.mul_colbcast(alpha, t.gather_rows(h, b.src_sl));
   VarId agg = t.scatter_add_rows(msg, b.dst_sl, b.num_nodes);
   return t.add_rowvec(agg, t.param(bias_));
+}
+
+const Tensor& GATConv::forward_infer(InferenceSession& s, const Tensor& x,
+                                     const GraphBatch& b) {
+  detail_count_message_pass(b);
+  const Tensor& h = lin_.forward_infer(s, x);
+  const Tensor& score_src = s.matmul(h, att_src_.value);
+  const Tensor& score_dst = s.matmul(h, att_dst_.value);
+  const Tensor& e_act =
+      s.edge_pair_scores(score_src, score_dst, b.src_sl, b.dst_sl, 0.2f);
+  const Tensor& alpha = s.segment_softmax(e_act, b.dst_sl, b.num_nodes);
+  const Tensor& agg = s.weighted_scatter_add(alpha.data(), h, nullptr,
+                                             b.src_sl, b.dst_sl, b.num_nodes);
+  return s.add_rowvec(agg, bias_.value);
 }
 
 std::vector<tensor::Parameter*> GATConv::params() {
@@ -119,6 +143,53 @@ VarId TransformerConv::forward(Tape& t, VarId x, const GraphBatch& b) {
   VarId beta = t.sigmoid(gate_.forward(t, t.concat_cols({r, m, t.sub(r, m)})));
   // h' = beta * r + (1 - beta) * m  ==  m + beta * (r - m)
   return t.add(m, t.mul_colbcast(beta, t.sub(r, m)));
+}
+
+const TransformerConv::EdgeProjection& TransformerConv::edge_projection(
+    const GraphBatch& b) {
+  static obs::Counter& c_rebuilds = obs::counter("gnn.edge_proj_rebuilds");
+  const std::uint64_t pv = tensor::params_version();
+  if (eproj_.batch_id != b.batch_id || eproj_.params_version != pv ||
+      b.batch_id == 0) {
+    // Same computation as Linear::forward_infer on b.e (no bias): zeroed
+    // output + matmul_acc, so the cached tensors are bit-identical to the
+    // per-forward session results they replace.
+    eproj_.ek = tensor::matmul(b.e, we_k_.weight().value);
+    eproj_.ev = tensor::matmul(b.e, we_v_.weight().value);
+    eproj_.batch_id = b.batch_id;
+    eproj_.params_version = pv;
+    obs::add(c_rebuilds);
+  }
+  return eproj_;
+}
+
+const Tensor& TransformerConv::forward_infer(InferenceSession& s,
+                                             const Tensor& x,
+                                             const GraphBatch& b) {
+  detail_count_message_pass(b);
+  const Tensor& q = wq_.forward_infer(s, x);
+  const Tensor& k = wk_.forward_infer(s, x);
+  const Tensor& v = wv_.forward_infer(s, x);
+  const EdgeProjection& ep = edge_projection(b);  // ek/ev, cached per batch
+
+  // Fused attention: no materialized q_edge/k_edge/v_edge/msg buffers; the
+  // per-element products and accumulation orders match the tape chain.
+  const Tensor& score =
+      s.edge_attention_scores(q, k, ep.ek, b.src, b.dst,
+                              1.0f / std::sqrt(static_cast<float>(out_dim_)));
+  const Tensor& alpha = s.segment_softmax(score, b.dst, b.num_nodes);
+  const Tensor& m = s.weighted_scatter_add(alpha.data(), v, &ep.ev, b.src,
+                                           b.dst, b.num_nodes);  // [N, D]
+
+  const Tensor& r = skip_.forward_infer(s, x);
+  if (!gated_residual_) return s.add(r, m);  // ablation: plain skip
+  // (r - m) feeds both the gate input and the residual mix; residual_concat
+  // materializes it once inside the gate input and gated_mix reads it back,
+  // yielding the same bits as the tape's sub + concat + mul_colbcast + add.
+  const Tensor& cat = s.residual_concat(r, m);
+  const Tensor& beta = s.sigmoid(gate_.forward_infer(s, cat));
+  // h' = beta * r + (1 - beta) * m  ==  m + beta * (r - m)
+  return s.gated_mix(m, beta, cat);
 }
 
 std::vector<tensor::Parameter*> TransformerConv::params() {

@@ -15,6 +15,10 @@ class ConvLayer : public Module {
   /// self-loop lists and edge features.
   virtual tensor::VarId forward(tensor::Tape& t, tensor::VarId x,
                                 const GraphBatch& b) = 0;
+  /// Tape-free forward, bit-identical to forward() (inference fast path).
+  virtual const tensor::Tensor& forward_infer(InferenceSession& s,
+                                              const tensor::Tensor& x,
+                                              const GraphBatch& b) = 0;
 };
 
 /// Graph Convolutional Network layer (Kipf & Welling):
@@ -24,6 +28,9 @@ class GCNConv : public ConvLayer {
   GCNConv(std::int64_t in, std::int64_t out, util::Rng& rng);
   tensor::VarId forward(tensor::Tape& t, tensor::VarId x,
                         const GraphBatch& b) override;
+  const tensor::Tensor& forward_infer(InferenceSession& s,
+                                      const tensor::Tensor& x,
+                                      const GraphBatch& b) override;
   std::vector<tensor::Parameter*> params() override;
 
  private:
@@ -38,6 +45,9 @@ class GATConv : public ConvLayer {
   GATConv(std::int64_t in, std::int64_t out, util::Rng& rng);
   tensor::VarId forward(tensor::Tape& t, tensor::VarId x,
                         const GraphBatch& b) override;
+  const tensor::Tensor& forward_infer(InferenceSession& s,
+                                      const tensor::Tensor& x,
+                                      const GraphBatch& b) override;
   std::vector<tensor::Parameter*> params() override;
 
  private:
@@ -62,12 +72,30 @@ class TransformerConv : public ConvLayer {
                   util::Rng& rng, bool gated_residual = true);
   tensor::VarId forward(tensor::Tape& t, tensor::VarId x,
                         const GraphBatch& b) override;
+  const tensor::Tensor& forward_infer(InferenceSession& s,
+                                      const tensor::Tensor& x,
+                                      const GraphBatch& b) override;
   std::vector<tensor::Parameter*> params() override;
 
  private:
+  /// Edge-feature projections W3 e and W5 e depend only on the batch's
+  /// immutable edge features and the layer weights, so the fast path
+  /// computes them once per (batch_id, params_version) instead of every
+  /// forward — the DSE skeleton cache reuses one batch across a whole
+  /// sweep, turning two [E, D] matmuls per chunk into once-per-sweep work.
+  /// Invalidation is automatic: make_batch mints fresh batch ids and
+  /// Adam::step()/load_params() bump tensor::params_version().
+  struct EdgeProjection {
+    std::uint64_t batch_id = 0;
+    std::uint64_t params_version = 0;
+    tensor::Tensor ek, ev;  // [E, out]
+  };
+  const EdgeProjection& edge_projection(const GraphBatch& b);
+
   Linear wq_, wk_, wv_, we_k_, we_v_, skip_, gate_;
   std::int64_t out_dim_;
   bool gated_residual_;
+  EdgeProjection eproj_;
 };
 
 }  // namespace gnndse::gnn

@@ -1,0 +1,511 @@
+#include "gnn/infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace gnndse::gnn {
+
+using tensor::Tensor;
+
+namespace {
+
+// Fan-out grains: keep each chunk at ~16k elements so tiny tensors (the
+// [E,1] score columns, head activations) run inline while the [N,124]/
+// [N,hidden] node matrices split across the pool.
+constexpr std::int64_t kElemGrain = 1 << 14;
+
+std::int64_t row_grain(std::int64_t cols) {
+  return std::max<std::int64_t>(1, kElemGrain / std::max<std::int64_t>(1, cols));
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+}
+
+}  // namespace
+
+Tensor& InferenceSession::next(std::vector<std::int64_t> shape, bool zero) {
+  if (cursor_ == slots_.size()) {
+    slots_.emplace_back();
+    high_water_.push_back(0);
+  }
+  Tensor& t = slots_[cursor_];
+  t.reset_(std::move(shape), zero);
+  high_water_[cursor_] =
+      std::max(high_water_[cursor_], static_cast<std::size_t>(t.numel()));
+  ++cursor_;
+  return t;
+}
+
+std::size_t InferenceSession::workspace_bytes() const {
+  std::size_t total = 0;
+  for (std::size_t n : high_water_) total += n * sizeof(float);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Dense ops.
+// ---------------------------------------------------------------------------
+
+const Tensor& InferenceSession::matmul(const Tensor& a, const Tensor& b) {
+  // Overwrite-mode kernel: same ascending-k sums as tensor::matmul's
+  // zeroed-output + matmul_acc, minus the memset.
+  Tensor& out = next({a.rows(), b.cols()}, /*zero=*/false);
+  tensor::matmul_bias(a, b, nullptr, out);
+  return out;
+}
+
+const Tensor& InferenceSession::linear(const Tensor& a, const Tensor& w,
+                                       const Tensor* bias) {
+  Tensor& out = next({a.rows(), w.cols()}, /*zero=*/false);
+  tensor::matmul_bias(a, w, bias, out);
+  return out;
+}
+
+const Tensor& InferenceSession::add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  util::parallel_for(out.numel(), kElemGrain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i)
+                         op[i] = ap[i] + bp[i];
+                     });
+  return out;
+}
+
+const Tensor& InferenceSession::sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  util::parallel_for(out.numel(), kElemGrain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i)
+                         op[i] = ap[i] - bp[i];
+                     });
+  return out;
+}
+
+const Tensor& InferenceSession::mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  util::parallel_for(out.numel(), kElemGrain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i)
+                         op[i] = ap[i] * bp[i];
+                     });
+  return out;
+}
+
+const Tensor& InferenceSession::scale(const Tensor& a, float s) {
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  const float* ap = a.data();
+  float* op = out.data();
+  util::parallel_for(out.numel(), kElemGrain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i)
+                         op[i] = ap[i] * s;
+                     });
+  return out;
+}
+
+const Tensor& InferenceSession::add_rowvec(const Tensor& a,
+                                           const Tensor& bias) {
+  if (bias.numel() != a.cols())
+    throw std::invalid_argument("add_rowvec: bias length != cols");
+  const std::int64_t r = a.rows(), c = a.cols();
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  const float* ap = a.data();
+  const float* bp = bias.data();
+  float* op = out.data();
+  util::parallel_for(r, row_grain(c), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i)
+      for (std::int64_t j = 0; j < c; ++j)
+        op[i * c + j] = ap[i * c + j] + bp[j];
+  });
+  return out;
+}
+
+const Tensor& InferenceSession::concat_cols(
+    const std::vector<const Tensor*>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_cols: empty input");
+  const std::int64_t r = parts[0]->rows();
+  std::int64_t total_c = 0;
+  for (const Tensor* p : parts) {
+    if (p->rows() != r)
+      throw std::invalid_argument("concat_cols: row count mismatch");
+    total_c += p->cols();
+  }
+  Tensor& out = next({r, total_c}, /*zero=*/false);
+  float* op = out.data();
+  util::parallel_for(r, row_grain(total_c),
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         std::int64_t off = 0;
+                         for (const Tensor* p : parts) {
+                           const std::int64_t c = p->cols();
+                           std::copy_n(p->data() + i * c, c,
+                                       op + i * total_c + off);
+                           off += c;
+                         }
+                       }
+                     });
+  return out;
+}
+
+const Tensor& InferenceSession::row_sum(const Tensor& a) {
+  const std::int64_t r = a.rows(), c = a.cols();
+  Tensor& out = next({r, 1}, /*zero=*/false);
+  const float* ap = a.data();
+  float* op = out.data();
+  // Ascending-j accumulation per row, as in Tape::row_sum; rows are
+  // independent so the fan-out never reorders additions.
+  util::parallel_for(r, row_grain(c), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      float acc = 0.0f;
+      for (std::int64_t j = 0; j < c; ++j) acc += ap[i * c + j];
+      op[i] = acc;
+    }
+  });
+  return out;
+}
+
+const Tensor& InferenceSession::mul_colbcast(const Tensor& col,
+                                             const Tensor& x) {
+  if (col.rows() != x.rows() || col.cols() != 1)
+    throw std::invalid_argument("mul_colbcast: col must be [N,1]");
+  const std::int64_t r = x.rows(), c = x.cols();
+  Tensor& out = next({r, c}, /*zero=*/false);
+  const float* cp = col.data();
+  const float* xp = x.data();
+  float* op = out.data();
+  util::parallel_for(r, row_grain(c), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float s = cp[i];
+      for (std::int64_t j = 0; j < c; ++j) op[i * c + j] = s * xp[i * c + j];
+    }
+  });
+  return out;
+}
+
+const Tensor& InferenceSession::residual_concat(const Tensor& r,
+                                                const Tensor& m) {
+  if (!r.same_shape(m))
+    throw std::invalid_argument("residual_concat: r/m shape mismatch");
+  const std::int64_t n = r.rows(), c = r.cols();
+  Tensor& out = next({n, 3 * c}, /*zero=*/false);
+  const float* rp = r.data();
+  const float* mp = m.data();
+  float* op = out.data();
+  util::parallel_for(
+      n, row_grain(3 * c), [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          float* orow = op + i * 3 * c;
+          for (std::int64_t j = 0; j < c; ++j) {
+            const float rv = rp[i * c + j], mv = mp[i * c + j];
+            orow[j] = rv;
+            orow[c + j] = mv;
+            orow[2 * c + j] = rv - mv;
+          }
+        }
+      });
+  return out;
+}
+
+const Tensor& InferenceSession::gated_mix(const Tensor& m, const Tensor& beta,
+                                          const Tensor& cat) {
+  if (beta.rows() != m.rows() || beta.cols() != 1)
+    throw std::invalid_argument("gated_mix: beta must be [N,1]");
+  const std::int64_t r = m.rows(), c = m.cols();
+  if (cat.rows() != r || cat.cols() != 3 * c)
+    throw std::invalid_argument("gated_mix: cat must be [N,3c]");
+  Tensor& out = next({r, c}, /*zero=*/false);
+  const float* bp = beta.data();
+  const float* mp = m.data();
+  const float* dp = cat.data() + 2 * c;  // difference block, row stride 3c
+  float* op = out.data();
+  util::parallel_for(r, row_grain(c), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float s = bp[i];
+      for (std::int64_t j = 0; j < c; ++j)
+        op[i * c + j] = mp[i * c + j] + s * dp[i * 3 * c + j];
+    }
+  });
+  return out;
+}
+
+const Tensor& InferenceSession::mul_colbcast(const std::vector<float>& col,
+                                             const Tensor& x) {
+  if (static_cast<std::int64_t>(col.size()) != x.rows())
+    throw std::invalid_argument("mul_colbcast: col length != rows");
+  const std::int64_t r = x.rows(), c = x.cols();
+  Tensor& out = next({r, c}, /*zero=*/false);
+  const float* cp = col.data();
+  const float* xp = x.data();
+  float* op = out.data();
+  util::parallel_for(r, row_grain(c), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float s = cp[i];
+      for (std::int64_t j = 0; j < c; ++j) op[i * c + j] = s * xp[i * c + j];
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Nonlinearities: the exact per-element formulas of the Tape ops.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename F>
+const Tensor& map_unary(InferenceSession& s, Tensor& out, const Tensor& in,
+                        F f) {
+  const float* ip = in.data();
+  float* op = out.data();
+  util::parallel_for(in.numel(), kElemGrain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i)
+                         op[i] = f(ip[i]);
+                     });
+  (void)s;
+  return out;
+}
+
+}  // namespace
+
+const Tensor& InferenceSession::relu(const Tensor& a) {
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  return map_unary(*this, out, a, [](float x) { return x > 0 ? x : 0.0f; });
+}
+
+const Tensor& InferenceSession::leaky_relu(const Tensor& a,
+                                           float negative_slope) {
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  const float s = negative_slope;
+  return map_unary(*this, out, a, [s](float x) { return x > 0 ? x : s * x; });
+}
+
+const Tensor& InferenceSession::elu(const Tensor& a, float alpha) {
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  return map_unary(*this, out, a, [alpha](float x) {
+    return x > 0 ? x : alpha * (std::exp(x) - 1.0f);
+  });
+}
+
+const Tensor& InferenceSession::sigmoid(const Tensor& a) {
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  return map_unary(*this, out, a, [](float x) {
+    // Branch on sign for numerical stability (same as Tape::sigmoid).
+    if (x >= 0) {
+      const float e = std::exp(-x);
+      return 1.0f / (1.0f + e);
+    }
+    const float e = std::exp(x);
+    return e / (1.0f + e);
+  });
+}
+
+const Tensor& InferenceSession::tanh(const Tensor& a) {
+  Tensor& out = next(a.shape(), /*zero=*/false);
+  return map_unary(*this, out, a, [](float x) { return std::tanh(x); });
+}
+
+// ---------------------------------------------------------------------------
+// Graph primitives.
+// ---------------------------------------------------------------------------
+
+const Tensor& InferenceSession::gather_rows(
+    const Tensor& a, const std::vector<std::int32_t>& idx) {
+  const std::int64_t c = a.cols();
+  Tensor& out = next({static_cast<std::int64_t>(idx.size()), c},
+                     /*zero=*/false);
+  const float* ap = a.data();
+  float* op = out.data();
+  util::parallel_for(static_cast<std::int64_t>(idx.size()), row_grain(c),
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i)
+                         std::copy_n(
+                             ap + static_cast<std::int64_t>(idx[
+                                      static_cast<std::size_t>(i)]) * c,
+                             c, op + i * c);
+                     });
+  return out;
+}
+
+const Tensor& InferenceSession::scatter_add_rows(
+    const Tensor& a, const std::vector<std::int32_t>& idx,
+    std::int64_t num_rows) {
+  if (static_cast<std::int64_t>(idx.size()) != a.rows())
+    throw std::invalid_argument("scatter_add_rows: index length != rows");
+  const std::int64_t c = a.cols();
+  Tensor& out = next({num_rows, c}, /*zero=*/true);
+  const float* ap = a.data();
+  float* op = out.data();
+  // Serial on purpose: rows colliding on the same destination accumulate
+  // in ascending source order, which defines the result bits.
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const float* src = ap + static_cast<std::int64_t>(i) * c;
+    float* dst = op + static_cast<std::int64_t>(idx[i]) * c;
+    for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+  }
+  return out;
+}
+
+const Tensor& InferenceSession::segment_softmax(
+    const Tensor& scores, const std::vector<std::int32_t>& seg,
+    std::int64_t num_segments) {
+  if (scores.cols() != 1 ||
+      static_cast<std::int64_t>(seg.size()) != scores.rows())
+    throw std::invalid_argument("segment_softmax: scores must be [E,1]");
+  const std::int64_t e = scores.rows();
+  // Serial, mirroring Tape::segment_softmax: the seg_sum accumulation
+  // order is part of the bit-identity contract. The scratch vectors are
+  // intentionally local — they are O(num_segments) and cheap next to the
+  // [E,*] tensors; promoting them into slots would complicate reuse
+  // tracking for no measurable gain.
+  std::vector<float> seg_max(static_cast<std::size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (std::int64_t i = 0; i < e; ++i)
+    seg_max[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])] =
+        std::max(seg_max[static_cast<std::size_t>(
+                     seg[static_cast<std::size_t>(i)])],
+                 scores.at(i, 0));
+  Tensor& out = next({e, 1}, /*zero=*/false);
+  std::vector<float> seg_sum(static_cast<std::size_t>(num_segments), 0.0f);
+  for (std::int64_t i = 0; i < e; ++i) {
+    const auto s = static_cast<std::size_t>(seg[static_cast<std::size_t>(i)]);
+    const float v = std::exp(scores.at(i, 0) - seg_max[s]);
+    out.at(i, 0) = v;
+    seg_sum[s] += v;
+  }
+  for (std::int64_t i = 0; i < e; ++i) {
+    const float denom =
+        seg_sum[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])];
+    out.at(i, 0) = denom > 0 ? out.at(i, 0) / denom : 0.0f;
+  }
+  return out;
+}
+
+const Tensor& InferenceSession::max_list(
+    const std::vector<const Tensor*>& parts) {
+  if (parts.empty()) throw std::invalid_argument("max_list: empty input");
+  const Tensor& first = *parts[0];
+  for (std::size_t k = 1; k < parts.size(); ++k)
+    if (!parts[k]->same_shape(first))
+      throw std::invalid_argument("max_list: shape mismatch");
+  Tensor& out = next(first.shape(), /*zero=*/false);
+  float* op = out.data();
+  // Per element: copy the first layer, then fold the rest in ascending
+  // layer order (same comparison sequence as Tape::max_list).
+  util::parallel_for(first.numel(), kElemGrain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       std::copy_n(first.data() + begin, end - begin,
+                                   op + begin);
+                       for (std::size_t k = 1; k < parts.size(); ++k) {
+                         const float* vp = parts[k]->data();
+                         for (std::int64_t i = begin; i < end; ++i)
+                           if (vp[i] > op[i]) op[i] = vp[i];
+                       }
+                     });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fused edge-domain kernels (see infer.hpp for the op chains they replace).
+// ---------------------------------------------------------------------------
+
+const Tensor& InferenceSession::edge_attention_scores(
+    const Tensor& q, const Tensor& k, const Tensor& ek,
+    const std::vector<std::int32_t>& src, const std::vector<std::int32_t>& dst,
+    float c) {
+  const std::int64_t e = static_cast<std::int64_t>(src.size());
+  const std::int64_t d = q.cols();
+  if (k.cols() != d || ek.cols() != d ||
+      static_cast<std::int64_t>(dst.size()) != e || ek.rows() != e)
+    throw std::invalid_argument("edge_attention_scores: shape mismatch");
+  Tensor& out = next({e, 1}, /*zero=*/false);
+  const float* qp = q.data();
+  const float* kp = k.data();
+  const float* ep = ek.data();
+  float* op = out.data();
+  // Disjoint per-edge writes; ascending-d accumulation matches row_sum.
+  util::parallel_for(e, row_grain(d), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float* qrow =
+          qp + static_cast<std::int64_t>(dst[static_cast<std::size_t>(i)]) * d;
+      const float* krow =
+          kp + static_cast<std::int64_t>(src[static_cast<std::size_t>(i)]) * d;
+      const float* erow = ep + i * d;
+      float acc = 0.0f;
+      for (std::int64_t j = 0; j < d; ++j)
+        acc += qrow[j] * (krow[j] + erow[j]);
+      op[i] = acc * c;
+    }
+  });
+  return out;
+}
+
+const Tensor& InferenceSession::edge_pair_scores(
+    const Tensor& a, const Tensor& b, const std::vector<std::int32_t>& src,
+    const std::vector<std::int32_t>& dst, float negative_slope) {
+  if (a.cols() != 1 || b.cols() != 1)
+    throw std::invalid_argument("edge_pair_scores: inputs must be [N,1]");
+  const std::int64_t e = static_cast<std::int64_t>(src.size());
+  Tensor& out = next({e, 1}, /*zero=*/false);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  const float s = negative_slope;
+  float* op = out.data();
+  util::parallel_for(e, kElemGrain, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float x = ap[src[static_cast<std::size_t>(i)]] +
+                      bp[dst[static_cast<std::size_t>(i)]];
+      op[i] = x > 0 ? x : s * x;
+    }
+  });
+  return out;
+}
+
+const Tensor& InferenceSession::weighted_scatter_add(
+    const float* alpha, const Tensor& v, const Tensor* ev,
+    const std::vector<std::int32_t>& src, const std::vector<std::int32_t>& dst,
+    std::int64_t num_rows) {
+  const std::int64_t c = v.cols();
+  if (ev && (ev->cols() != c ||
+             ev->rows() != static_cast<std::int64_t>(src.size())))
+    throw std::invalid_argument("weighted_scatter_add: ev shape mismatch");
+  Tensor& out = next({num_rows, c}, /*zero=*/true);
+  const float* vp = v.data();
+  const float* ep = ev ? ev->data() : nullptr;
+  float* op = out.data();
+  // Serial on purpose: colliding destinations accumulate in ascending edge
+  // order, which defines the result bits (same as scatter_add_rows).
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float s = alpha[i];
+    const float* vrow = vp + static_cast<std::int64_t>(src[i]) * c;
+    float* drow = op + static_cast<std::int64_t>(dst[i]) * c;
+    if (ep) {
+      const float* erow = ep + static_cast<std::int64_t>(i) * c;
+      for (std::int64_t j = 0; j < c; ++j) drow[j] += s * (vrow[j] + erow[j]);
+    } else {
+      for (std::int64_t j = 0; j < c; ++j) drow[j] += s * vrow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace gnndse::gnn

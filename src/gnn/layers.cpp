@@ -20,6 +20,11 @@ VarId Linear::forward(Tape& t, VarId x) {
   return y;
 }
 
+const tensor::Tensor& Linear::forward_infer(InferenceSession& s,
+                                            const tensor::Tensor& x) {
+  return s.linear(x, w_.value, has_bias_ ? &b_.value : nullptr);
+}
+
 std::vector<tensor::Parameter*> Linear::params() {
   if (has_bias_) return {&w_, &b_};
   return {&w_};
@@ -43,6 +48,25 @@ VarId activate(Tape& t, VarId x, Activation a) {
   throw std::logic_error("unknown activation");
 }
 
+const tensor::Tensor& activate_infer(InferenceSession& s,
+                                     const tensor::Tensor& x, Activation a) {
+  switch (a) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return s.relu(x);
+    case Activation::kElu:
+      return s.elu(x);
+    case Activation::kLeakyRelu:
+      return s.leaky_relu(x);
+    case Activation::kSigmoid:
+      return s.sigmoid(x);
+    case Activation::kTanh:
+      return s.tanh(x);
+  }
+  throw std::logic_error("unknown activation");
+}
+
 Mlp::Mlp(const std::vector<std::int64_t>& dims, util::Rng& rng,
          Activation hidden, Activation output)
     : hidden_(hidden), output_(output) {
@@ -59,6 +83,17 @@ VarId Mlp::forward(Tape& t, VarId x) {
     x = activate(t, x, last ? output_ : hidden_);
   }
   return x;
+}
+
+const tensor::Tensor& Mlp::forward_infer(InferenceSession& s,
+                                         const tensor::Tensor& x) {
+  const tensor::Tensor* h = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = &layers_[i].forward_infer(s, *h);
+    const bool last = (i + 1 == layers_.size());
+    h = &activate_infer(s, *h, last ? output_ : hidden_);
+  }
+  return *h;
 }
 
 std::vector<tensor::Parameter*> Mlp::params() {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gnn/infer.hpp"
 #include "tensor/adam.hpp"
 #include "tensor/tape.hpp"
 #include "util/rng.hpp"
@@ -23,10 +24,18 @@ class Linear : public Module {
   Linear(std::int64_t in, std::int64_t out, util::Rng& rng, bool bias = true);
 
   tensor::VarId forward(tensor::Tape& t, tensor::VarId x);
+  /// Tape-free forward (bit-identical to forward); the returned reference
+  /// lives in the session's workspace until its next begin().
+  const tensor::Tensor& forward_infer(InferenceSession& s,
+                                      const tensor::Tensor& x);
   std::vector<tensor::Parameter*> params() override;
 
   std::int64_t in_features() const { return w_.value.dim(0); }
   std::int64_t out_features() const { return w_.value.dim(1); }
+
+  /// Weight matrix [in, out] — read-only access for callers that cache
+  /// weight-derived values (TransformerConv's edge projections).
+  const tensor::Parameter& weight() const { return w_; }
 
  private:
   tensor::Parameter w_;
@@ -46,6 +55,8 @@ class Mlp : public Module {
       Activation output = Activation::kNone);
 
   tensor::VarId forward(tensor::Tape& t, tensor::VarId x);
+  const tensor::Tensor& forward_infer(InferenceSession& s,
+                                      const tensor::Tensor& x);
   std::vector<tensor::Parameter*> params() override;
 
  private:
@@ -55,5 +66,9 @@ class Mlp : public Module {
 
 /// Applies an activation on the tape.
 tensor::VarId activate(tensor::Tape& t, tensor::VarId x, Activation a);
+
+/// Tape-free activation; kNone returns `x` itself.
+const tensor::Tensor& activate_infer(InferenceSession& s,
+                                     const tensor::Tensor& x, Activation a);
 
 }  // namespace gnndse::gnn

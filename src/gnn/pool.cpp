@@ -9,8 +9,19 @@ VarId sum_pool(Tape& t, VarId x, const GraphBatch& b) {
   return t.scatter_add_rows(x, b.node_graph, b.num_graphs);
 }
 
+const tensor::Tensor& sum_pool_infer(InferenceSession& s,
+                                     const tensor::Tensor& x,
+                                     const GraphBatch& b) {
+  return s.scatter_add_rows(x, b.node_graph, b.num_graphs);
+}
+
 VarId jumping_knowledge_max(Tape& t, const std::vector<VarId>& layers) {
   return t.max_list(layers);
+}
+
+const tensor::Tensor& jumping_knowledge_max_infer(
+    InferenceSession& s, const std::vector<const tensor::Tensor*>& layers) {
+  return s.max_list(layers);
 }
 
 AttentionPool::AttentionPool(std::int64_t dim, util::Rng& rng)
@@ -23,6 +34,17 @@ VarId AttentionPool::forward(Tape& t, VarId x, const GraphBatch& b) {
   last_scores_ = alpha;
   VarId weighted = t.mul_colbcast(alpha, transform_.forward(t, x));
   return t.scatter_add_rows(weighted, b.node_graph, b.num_graphs);
+}
+
+const tensor::Tensor& AttentionPool::forward_infer(InferenceSession& s,
+                                                   const tensor::Tensor& x,
+                                                   const GraphBatch& b) {
+  const tensor::Tensor& scores = gate_.forward_infer(s, x);  // [N, 1]
+  const tensor::Tensor& alpha =
+      s.segment_softmax(scores, b.node_graph, b.num_graphs);
+  const tensor::Tensor& weighted =
+      s.mul_colbcast(alpha, transform_.forward_infer(s, x));
+  return s.scatter_add_rows(weighted, b.node_graph, b.num_graphs);
 }
 
 std::vector<tensor::Parameter*> AttentionPool::params() {

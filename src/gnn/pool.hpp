@@ -9,11 +9,16 @@ namespace gnndse::gnn {
 
 /// Sum of node embeddings per graph: [N, D] -> [B, D].
 tensor::VarId sum_pool(tensor::Tape& t, tensor::VarId x, const GraphBatch& b);
+const tensor::Tensor& sum_pool_infer(InferenceSession& s,
+                                     const tensor::Tensor& x,
+                                     const GraphBatch& b);
 
 /// Jumping Knowledge Network, max combine (eq. 9): elementwise max over the
 /// per-layer node embeddings.
 tensor::VarId jumping_knowledge_max(tensor::Tape& t,
                                     const std::vector<tensor::VarId>& layers);
+const tensor::Tensor& jumping_knowledge_max_infer(
+    InferenceSession& s, const std::vector<const tensor::Tensor*>& layers);
 
 /// Node-attention pooling (eq. 10):
 ///   h_G = sum_i softmax_i(MLP1(h_i)) * MLP2(h_i)
@@ -23,6 +28,9 @@ class AttentionPool : public Module {
   AttentionPool(std::int64_t dim, util::Rng& rng);
 
   tensor::VarId forward(tensor::Tape& t, tensor::VarId x, const GraphBatch& b);
+  const tensor::Tensor& forward_infer(InferenceSession& s,
+                                      const tensor::Tensor& x,
+                                      const GraphBatch& b);
 
   /// Attention scores per node (the softmax output), for Fig 5-style
   /// analysis. Valid after calling forward on the same tape.

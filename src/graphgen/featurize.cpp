@@ -30,6 +30,13 @@ float log2f_safe(double v) {
 
 Tensor node_features(const ProgramGraph& g, const dspace::DesignSpace& space,
                      const DesignConfig& cfg) {
+  Tensor x = static_node_features(g, space);
+  write_pragma_features(g, space, cfg, x, 0);
+  return x;
+}
+
+Tensor static_node_features(const ProgramGraph& g,
+                            const dspace::DesignSpace& space) {
   const auto& kernel = space.kernel();
   Tensor x({g.num_nodes(), kNodeFeatureDim});
   for (std::int64_t i = 0; i < g.num_nodes(); ++i) {
@@ -43,10 +50,22 @@ Tensor node_features(const ProgramGraph& g, const dspace::DesignSpace& space,
     x.at(i, kDepthOff + std::min(depth, 7)) = 1.0f;
     x.at(i, kNumericOff) = n.numeric / 16.0f;
   }
-  // Pragma fill: write the concrete option of each site into its node.
+  return x;
+}
+
+void write_pragma_features(const ProgramGraph& g,
+                           const dspace::DesignSpace& space,
+                           const DesignConfig& cfg, Tensor& x,
+                           std::int64_t row_offset) {
   const auto& sites = space.sites();
   for (std::size_t s = 0; s < sites.size(); ++s) {
-    const std::int64_t i = g.pragma_nodes[s];
+    const std::int64_t i = row_offset + g.pragma_nodes[s];
+    // Clear the whole pragma block [kPipeOff..kTileOff] so reused buffers
+    // carry no stale one-hots from a previous configuration.
+    for (std::int64_t c = kPipeOff; c <= kTileOff; ++c) x.at(i, c) = 0.0f;
+  }
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const std::int64_t i = row_offset + g.pragma_nodes[s];
     const auto& lc = cfg.loops[static_cast<std::size_t>(sites[s].loop)];
     switch (sites[s].kind) {
       case SiteKind::kPipeline:
@@ -61,7 +80,6 @@ Tensor node_features(const ProgramGraph& g, const dspace::DesignSpace& space,
         break;
     }
   }
-  return x;
 }
 
 Tensor edge_features(const ProgramGraph& g) {
@@ -77,26 +95,32 @@ Tensor edge_features(const ProgramGraph& g) {
 Tensor pragma_vector(const dspace::DesignSpace& space, const DesignConfig& cfg,
                      int max_sites) {
   Tensor v({static_cast<std::int64_t>(max_sites) * kPragmaVectorPerSite});
+  write_pragma_vector(space, cfg, max_sites, v.data());
+  return v;
+}
+
+void write_pragma_vector(const dspace::DesignSpace& space,
+                         const DesignConfig& cfg, int max_sites, float* row) {
+  std::fill_n(row, static_cast<std::size_t>(max_sites) * kPragmaVectorPerSite,
+              0.0f);
   const auto& sites = space.sites();
   for (std::size_t s = 0; s < sites.size() &&
                           s < static_cast<std::size_t>(max_sites);
        ++s) {
-    const std::int64_t base =
-        static_cast<std::int64_t>(s) * kPragmaVectorPerSite;
+    const std::size_t base = s * static_cast<std::size_t>(kPragmaVectorPerSite);
     const auto& lc = cfg.loops[static_cast<std::size_t>(sites[s].loop)];
     switch (sites[s].kind) {
       case SiteKind::kPipeline:
-        v.at(base + static_cast<int>(lc.pipeline)) = 1.0f;
+        row[base + static_cast<std::size_t>(lc.pipeline)] = 1.0f;
         break;
       case SiteKind::kParallel:
-        v.at(base + 3) = log2f_safe(static_cast<double>(lc.parallel)) / 8.0f;
+        row[base + 3] = log2f_safe(static_cast<double>(lc.parallel)) / 8.0f;
         break;
       case SiteKind::kTile:
-        v.at(base + 4) = log2f_safe(static_cast<double>(lc.tile)) / 4.0f;
+        row[base + 4] = log2f_safe(static_cast<double>(lc.tile)) / 4.0f;
         break;
     }
   }
-  return v;
 }
 
 }  // namespace gnndse::graphgen

@@ -35,6 +35,22 @@ tensor::Tensor node_features(const ProgramGraph& g,
                              const dspace::DesignSpace& space,
                              const hlssim::DesignConfig& cfg);
 
+/// Configuration-independent node features: everything node_features writes
+/// except the pragma slots [58..62], which are left zero. Cached per kernel
+/// by model::SampleFactory's GraphTemplate; combined with
+/// write_pragma_features it reproduces node_features bit-for-bit.
+tensor::Tensor static_node_features(const ProgramGraph& g,
+                                    const dspace::DesignSpace& space);
+
+/// Write the pragma-dependent feature slots of one configuration into `x`
+/// at `row_offset` (the first row of this graph inside a stacked buffer).
+/// Clears the pragma slot block of every pragma node first, so the buffer
+/// can be reused across configurations without stale one-hots surviving.
+void write_pragma_features(const ProgramGraph& g,
+                           const dspace::DesignSpace& space,
+                           const hlssim::DesignConfig& cfg, tensor::Tensor& x,
+                           std::int64_t row_offset);
+
 /// Edge features (configuration-independent).
 tensor::Tensor edge_features(const ProgramGraph& g);
 
@@ -45,5 +61,12 @@ tensor::Tensor pragma_vector(const dspace::DesignSpace& space,
                              const hlssim::DesignConfig& cfg, int max_sites);
 
 inline constexpr int kPragmaVectorPerSite = 5;
+
+/// Writes the pragma vector of one configuration into a preexisting row of
+/// `max_sites * kPragmaVectorPerSite` floats (zeroed first, so the buffer
+/// can be reused across configurations). pragma_vector delegates here.
+void write_pragma_vector(const dspace::DesignSpace& space,
+                         const hlssim::DesignConfig& cfg, int max_sites,
+                         float* row);
 
 }  // namespace gnndse::graphgen

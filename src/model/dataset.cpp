@@ -5,18 +5,28 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "oracle/evaluator.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace gnndse::model {
 
-SampleFactory::KernelCache& SampleFactory::cache_for(
+SampleFactory::GraphTemplate& SampleFactory::cache_for(
     const kir::Kernel& kernel) {
+  static obs::Counter& c_hits = obs::counter("gnn.template_hits");
+  static obs::Counter& c_misses = obs::counter("gnn.template_misses");
+  const std::uint64_t digest = oracle::kernel_digest(kernel);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(kernel.name);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end() && it->second.digest == digest) {
+    obs::add(c_hits);
+    return it->second;
+  }
+  obs::add(c_misses);
+  if (it != cache_.end()) cache_.erase(it);  // kernel edited: stale template
 
-  KernelCache kc;
+  GraphTemplate kc;
+  kc.digest = digest;
   kc.space = std::make_unique<dspace::DesignSpace>(kernel);
   kc.graph = graphgen::build_graph(kernel, *kc.space);
   kc.edge_feats = graphgen::edge_features(kc.graph);
@@ -26,6 +36,7 @@ SampleFactory::KernelCache& SampleFactory::cache_for(
     kc.src.push_back(e.src);
     kc.dst.push_back(e.dst);
   }
+  kc.base_x = graphgen::static_node_features(kc.graph, *kc.space);
   return cache_.emplace(kernel.name, std::move(kc)).first->second;
 }
 
@@ -42,7 +53,29 @@ gnn::GraphData SampleFactory::featurize(const kir::Kernel& kernel,
   static obs::Counter& c_built = obs::counter("graphgen.graphs_built");
   static obs::Histogram& h_feat = obs::histogram("graphgen.featurize_ms");
   util::Timer timer;
-  KernelCache& kc = cache_for(kernel);
+  GraphTemplate& kc = cache_for(kernel);
+  gnn::GraphData g;
+  // Static features are a straight copy of the template; only the pragma
+  // slots of this configuration get written on top.
+  g.x = kc.base_x;
+  graphgen::write_pragma_features(kc.graph, *kc.space, cfg, g.x, 0);
+  g.e = kc.edge_feats;
+  g.src = kc.src;
+  g.dst = kc.dst;
+  g.aux = graphgen::pragma_vector(*kc.space, cfg, kMaxPragmaSites);
+  if (obs::enabled()) {
+    c_built.add();
+    h_feat.observe(timer.millis());
+  }
+  return g;
+}
+
+gnn::GraphData SampleFactory::featurize_full(const kir::Kernel& kernel,
+                                             const hlssim::DesignConfig& cfg) {
+  static obs::Counter& c_built = obs::counter("graphgen.graphs_built");
+  static obs::Histogram& h_feat = obs::histogram("graphgen.featurize_ms");
+  util::Timer timer;
+  GraphTemplate& kc = cache_for(kernel);
   gnn::GraphData g;
   g.x = graphgen::node_features(kc.graph, *kc.space, cfg);
   g.e = kc.edge_feats;
@@ -54,6 +87,66 @@ gnn::GraphData SampleFactory::featurize(const kir::Kernel& kernel,
     h_feat.observe(timer.millis());
   }
   return g;
+}
+
+const gnn::GraphBatch& SampleFactory::batch_for(
+    const kir::Kernel& kernel, std::span<const hlssim::DesignConfig> configs) {
+  static obs::Counter& c_hits = obs::counter("gnn.batch_skeleton_hits");
+  static obs::Counter& c_misses = obs::counter("gnn.batch_skeleton_misses");
+  if (configs.empty())
+    throw std::invalid_argument("batch_for: empty config list");
+  GraphTemplate& kc = cache_for(kernel);
+
+  // Skeleton lookup (MRU list, keyed by kernel + digest + batch size).
+  Skeleton* skel = nullptr;
+  for (auto it = skeletons_.begin(); it != skeletons_.end(); ++it) {
+    if (it->kernel == kernel.name && it->digest == kc.digest &&
+        it->batch_size == configs.size()) {
+      skeletons_.splice(skeletons_.begin(), skeletons_, it);
+      skel = &skeletons_.front();
+      break;
+    }
+  }
+  if (skel) {
+    obs::add(c_hits);
+  } else {
+    obs::add(c_misses);
+    // Assemble the batch once from B copies of the template graph (pragma
+    // slots zero) — exactly what make_batch over featurized graphs
+    // produces for everything except the per-config slots written below.
+    gnn::GraphData proto;
+    proto.x = kc.base_x;
+    proto.e = kc.edge_feats;
+    proto.src = kc.src;
+    proto.dst = kc.dst;
+    proto.aux = tensor::Tensor({static_cast<std::int64_t>(kMaxPragmaSites) *
+                                graphgen::kPragmaVectorPerSite});
+    std::vector<const gnn::GraphData*> protos(configs.size(), &proto);
+    skeletons_.push_front(Skeleton{kernel.name, kc.digest, configs.size(),
+                                   gnn::make_batch(protos)});
+    if (skeletons_.size() > kMaxSkeletons) skeletons_.pop_back();
+    skel = &skeletons_.front();
+  }
+
+  // Per-config featurization: rewrite only the pragma-dependent slots of
+  // each graph's rows (write_pragma_features clears them first, so reuse
+  // across calls never leaks a previous configuration). Disjoint row
+  // ranges per config — safe to fan out.
+  gnn::GraphBatch& b = skel->batch;
+  const std::int64_t fa = b.aux.cols();
+  util::parallel_for(
+      static_cast<std::int64_t>(configs.size()), 8,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto gi = static_cast<std::size_t>(i);
+          graphgen::write_pragma_features(kc.graph, *kc.space, configs[gi],
+                                          b.x, b.node_offset[gi]);
+          graphgen::write_pragma_vector(*kc.space, configs[gi],
+                                        kMaxPragmaSites,
+                                        b.aux.data() + i * fa);
+        }
+      });
+  return b;
 }
 
 Sample SampleFactory::make(const kir::Kernel& kernel,

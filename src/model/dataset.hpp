@@ -5,9 +5,12 @@
 // design points of the same kernel.
 #pragma once
 
+#include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,9 +36,26 @@ struct Sample {
 };
 
 /// Caches per-kernel lowering products and featurizes design points.
-/// Thread-safe: featurize() may be called concurrently from the parallel
-/// DSE/trainer stages — the cache map is mutex-guarded and its entries are
-/// immutable once built (std::map nodes are reference-stable).
+///
+/// Two cache layers back the inference fast path:
+///  * GraphTemplate — everything invariant across configurations of one
+///    kernel (design space, program graph, edge features, edge index, and
+///    the static node-feature matrix with the pragma slots zeroed), built
+///    once per kernel *digest* (oracle::kernel_digest): editing a kernel
+///    in place invalidates and rebuilds its template.
+///    Telemetry: `gnn.template_hits` / `gnn.template_misses`.
+///  * batch skeleton — the assembled GraphBatch for B copies of the
+///    template graph, cached per (kernel, B) since topology (src_sl/
+///    dst_sl/gcn_coeff/node_graph/node_offset) is identical across
+///    configurations. batch_for() reduces per-config featurization to
+///    rewriting pragma feature slots inside the cached batch.
+///    Telemetry: `gnn.batch_skeleton_hits` / `gnn.batch_skeleton_misses`.
+///
+/// Thread-safe for featurize()/space()/graph() (mutex-guarded map with
+/// reference-stable, immutable-once-built entries) — the parallel DSE and
+/// trainer stages rely on that. batch_for() is single-consumer: it returns
+/// a reference into the skeleton cache that is valid (and must not be used
+/// concurrently) until the next batch_for() call on the same factory.
 class SampleFactory {
  public:
   SampleFactory() = default;
@@ -49,20 +69,53 @@ class SampleFactory {
   gnn::GraphData featurize(const kir::Kernel& kernel,
                            const hlssim::DesignConfig& cfg);
 
+  /// Featurization without the static-feature template: recomputes the full
+  /// node-feature matrix per config, exactly as the pipeline did before the
+  /// template cache existed. Same bits as featurize(); only slower. The DSE
+  /// tape path uses it so bench_fastpath's baseline measures the
+  /// pre-fast-path pipeline rather than a hybrid that already enjoys the
+  /// template cache.
+  gnn::GraphData featurize_full(const kir::Kernel& kernel,
+                                const hlssim::DesignConfig& cfg);
+
+  /// Shared batch assembly for one DSE chunk: one GraphBatch reused by all
+  /// three model heads, with the topology skeleton cached per (kernel,
+  /// configs.size()) and only the pragma-dependent feature slots rewritten
+  /// per call. Bit-identical to featurizing each config and calling
+  /// gnn::make_batch.
+  const gnn::GraphBatch& batch_for(const kir::Kernel& kernel,
+                                   std::span<const hlssim::DesignConfig> configs);
+
   const dspace::DesignSpace& space(const kir::Kernel& kernel);
   const graphgen::ProgramGraph& graph(const kir::Kernel& kernel);
 
  private:
-  struct KernelCache {
+  struct GraphTemplate {
+    std::uint64_t digest = 0;
     std::unique_ptr<dspace::DesignSpace> space;
     graphgen::ProgramGraph graph;
     tensor::Tensor edge_feats;
     std::vector<std::int32_t> src, dst;
+    /// Static node features (pragma slots zero) shared by every config.
+    tensor::Tensor base_x;
   };
-  KernelCache& cache_for(const kir::Kernel& kernel);
+  GraphTemplate& cache_for(const kir::Kernel& kernel);
+
+  struct Skeleton {
+    std::string kernel;
+    std::uint64_t digest = 0;
+    std::size_t batch_size = 0;
+    gnn::GraphBatch batch;
+  };
+  /// Most-recently-used first; capped at kMaxSkeletons (a 256-config
+  /// skeleton of a mid-size kernel is ~13 MB of node features — DSE works
+  /// one kernel at a time, so a small cache covers the full+tail chunk
+  /// sizes without ballooning across a 9-kernel run).
+  static constexpr std::size_t kMaxSkeletons = 4;
+  std::list<Skeleton> skeletons_;
 
   std::mutex mu_;
-  std::map<std::string, KernelCache> cache_;
+  std::map<std::string, GraphTemplate> cache_;
 };
 
 struct Dataset {

@@ -4,6 +4,7 @@
 
 #include "graphgen/featurize.hpp"
 #include "model/dataset.hpp"
+#include "obs/metrics.hpp"
 
 namespace gnndse::model {
 
@@ -108,6 +109,49 @@ VarId PredictiveModel::forward(Tape& t, const gnn::GraphBatch& b) {
     graph_repr = gnn::sum_pool(t, node_repr, b);
   last_embedding_ = graph_repr;
   return head_->forward(t, graph_repr);
+}
+
+const tensor::Tensor& PredictiveModel::forward_infer(
+    gnn::InferenceSession& s, const gnn::GraphBatch& b) {
+  static obs::Counter& c_fast = obs::counter("gnn.fastpath_forwards");
+  obs::add(c_fast);
+  s.begin();
+  switch (opts_.kind) {
+    case ModelKind::kM1MlpPragma: {
+      if (b.aux.numel() == 0)
+        throw std::invalid_argument("M1 needs pragma aux features");
+      last_embedding_infer_ = &b.aux;
+      return head_->forward_infer(s, b.aux);
+    }
+    case ModelKind::kM2MlpContext: {
+      // Program context without a GNN: sum of the initial node embeddings.
+      const tensor::Tensor& emb = gnn::sum_pool_infer(s, b.x, b);
+      last_embedding_infer_ = &emb;
+      return head_->forward_infer(s, emb);
+    }
+    default:
+      break;
+  }
+
+  const tensor::Tensor* hcur = &b.x;
+  std::vector<const tensor::Tensor*> layer_outputs;
+  layer_outputs.reserve(convs_.size());
+  for (auto& conv : convs_) {
+    hcur = &s.elu(conv->forward_infer(s, *hcur, b));
+    layer_outputs.push_back(hcur);
+  }
+  const tensor::Tensor* node_repr = hcur;
+  if (opts_.kind == ModelKind::kM6TconvJkn ||
+      opts_.kind == ModelKind::kM7Full)
+    node_repr = &gnn::jumping_knowledge_max_infer(s, layer_outputs);
+
+  const tensor::Tensor* graph_repr;
+  if (opts_.kind == ModelKind::kM7Full)
+    graph_repr = &att_pool_->forward_infer(s, *node_repr, b);
+  else
+    graph_repr = &gnn::sum_pool_infer(s, *node_repr, b);
+  last_embedding_infer_ = graph_repr;
+  return head_->forward_infer(s, *graph_repr);
 }
 
 VarId PredictiveModel::last_attention() const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -55,9 +56,24 @@ class PredictiveModel : public gnn::Module {
   /// Forward over a batch of graphs -> [B, out_dim].
   tensor::VarId forward(tensor::Tape& t, const gnn::GraphBatch& b);
 
+  /// Tape-free forward over a batch -> [B, out_dim], bit-identical to
+  /// forward() at every thread count. The returned reference (and
+  /// last_graph_embedding_infer()) live in the session's workspace until
+  /// its next begin(). Counts `gnn.fastpath_forwards`.
+  const tensor::Tensor& forward_infer(gnn::InferenceSession& s,
+                                      const gnn::GraphBatch& b);
+
   /// Graph-level embedding of the last forward (input to the MLP head);
   /// used for the t-SNE analysis (Fig 6).
   tensor::VarId last_graph_embedding() const { return last_embedding_; }
+
+  /// Fast-path counterpart of last_graph_embedding(): the pooled embedding
+  /// of the last forward_infer() call.
+  const tensor::Tensor& last_graph_embedding_infer() const {
+    if (!last_embedding_infer_)
+      throw std::logic_error("no forward_infer has run yet");
+    return *last_embedding_infer_;
+  }
 
   /// Node-attention scores of the last forward (M7 only, Fig 5).
   tensor::VarId last_attention() const;
@@ -72,6 +88,7 @@ class PredictiveModel : public gnn::Module {
   std::unique_ptr<gnn::AttentionPool> att_pool_;
   std::unique_ptr<gnn::Mlp> head_;
   tensor::VarId last_embedding_ = tensor::kInvalidVar;
+  const tensor::Tensor* last_embedding_infer_ = nullptr;
 };
 
 }  // namespace gnndse::model

@@ -126,14 +126,63 @@ Tensor Trainer::predict(const Dataset& ds,
   return predict_graphs(graphs);
 }
 
-Tensor Trainer::predict_graphs(
-    const std::vector<const gnn::GraphData*>& graphs) {
+const Tensor& Trainer::predict_batch(const gnn::GraphBatch& batch) {
   static obs::Counter& c_inf = obs::counter("gnn.inferences");
+  static obs::Gauge& g_ws = obs::gauge("gnn.workspace_bytes");
+  const Tensor& pred = model_.forward_infer(session_, batch);
+  if (obs::enabled()) {
+    c_inf.add(batch.num_graphs);
+    g_ws.set(static_cast<double>(session_.workspace_bytes()));
+  }
+  return pred;
+}
+
+namespace {
+
+/// Chunked fast-path prediction shared by both predict_graphs overloads:
+/// `make_chunk(start, end)` assembles the batch for graphs [start, end).
+template <typename MakeChunk>
+Tensor predict_chunked(Trainer& trainer, std::size_t count, std::int64_t out,
+                       MakeChunk&& make_chunk) {
   static obs::Histogram& h_inf = obs::histogram("gnn.inference_batch_ms");
   util::Timer timer;
+  Tensor result({static_cast<std::int64_t>(count), out});
+  for (std::size_t start = 0; start < count; start += Trainer::kChunk) {
+    const std::size_t end = std::min(count, start + Trainer::kChunk);
+    gnn::GraphBatch batch = make_chunk(start, end);
+    const Tensor& v = trainer.predict_batch(batch);
+    std::copy_n(v.data(), v.numel(),
+                result.data() + static_cast<std::int64_t>(start) * out);
+  }
+  obs::observe(h_inf, timer.millis());
+  return result;
+}
+
+}  // namespace
+
+Tensor Trainer::predict_graphs(
+    const std::vector<const gnn::GraphData*>& graphs) {
+  return predict_chunked(
+      *this, graphs.size(), model_.options().out_dim,
+      [&](std::size_t start, std::size_t end) {
+        return gnn::make_batch(std::vector<const gnn::GraphData*>(
+            graphs.begin() + static_cast<long>(start),
+            graphs.begin() + static_cast<long>(end)));
+      });
+}
+
+Tensor Trainer::predict_graphs(std::span<const gnn::GraphData> graphs) {
+  return predict_chunked(*this, graphs.size(), model_.options().out_dim,
+                         [&](std::size_t start, std::size_t end) {
+                           return gnn::make_batch(
+                               graphs.subspan(start, end - start));
+                         });
+}
+
+Tensor Trainer::predict_graphs_tape(
+    const std::vector<const gnn::GraphData*>& graphs) {
   const std::int64_t out = model_.options().out_dim;
   Tensor result({static_cast<std::int64_t>(graphs.size()), out});
-  constexpr std::size_t kChunk = 256;
   for (std::size_t start = 0; start < graphs.size(); start += kChunk) {
     const std::size_t end = std::min(graphs.size(), start + kChunk);
     std::vector<const gnn::GraphData*> chunk(
@@ -146,26 +195,20 @@ Tensor Trainer::predict_graphs(
     std::copy_n(v.data(), v.numel(),
                 result.data() + static_cast<std::int64_t>(start) * out);
   }
-  if (obs::enabled()) {
-    c_inf.add(static_cast<std::int64_t>(graphs.size()));
-    h_inf.observe(timer.millis());
-  }
   return result;
 }
 
 Tensor Trainer::embed_graphs(
     const std::vector<const gnn::GraphData*>& graphs) {
   Tensor result;
-  constexpr std::size_t kChunk = 256;
   for (std::size_t start = 0; start < graphs.size(); start += kChunk) {
     const std::size_t end = std::min(graphs.size(), start + kChunk);
     std::vector<const gnn::GraphData*> chunk(
         graphs.begin() + static_cast<long>(start),
         graphs.begin() + static_cast<long>(end));
     gnn::GraphBatch batch = gnn::make_batch(chunk);
-    Tape tape;
-    model_.forward(tape, batch);
-    const Tensor& emb = tape.value(model_.last_graph_embedding());
+    predict_batch(batch);
+    const Tensor& emb = model_.last_graph_embedding_infer();
     if (result.numel() == 0)
       result = Tensor({static_cast<std::int64_t>(graphs.size()), emb.cols()});
     std::copy_n(emb.data(), emb.numel(),

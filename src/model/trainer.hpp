@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "model/dataset.hpp"
@@ -48,17 +49,39 @@ class Trainer {
   /// training loss of the final epoch.
   float fit(const Dataset& ds, const std::vector<std::size_t>& train_idx);
 
-  /// Raw model outputs, [n, out_dim] (logits for classification).
+  /// Raw model outputs, [n, out_dim] (logits for classification). Both
+  /// overloads run the tape-free fast path (bit-identical to the tape;
+  /// enforced by tests/test_fastpath.cpp) in kChunk-sized batches.
   tensor::Tensor predict(const Dataset& ds,
                          const std::vector<std::size_t>& idx);
   tensor::Tensor predict_graphs(
       const std::vector<const gnn::GraphData*>& graphs);
+  tensor::Tensor predict_graphs(std::span<const gnn::GraphData> graphs);
+
+  /// Reference implementation of predict_graphs through the autodiff Tape.
+  /// Kept as the bit-identity baseline for tests and the tape-vs-fast
+  /// benchmark (bench_fastpath).
+  tensor::Tensor predict_graphs_tape(
+      const std::vector<const gnn::GraphData*>& graphs);
+
+  /// Fast-path forward over one prebuilt batch -> [B, out_dim]. The
+  /// returned reference lives in the trainer's inference workspace until
+  /// the next predict call. This is the DSE hot loop's entry point: the
+  /// caller assembles (or reuses) a single GraphBatch that all three model
+  /// heads share.
+  const tensor::Tensor& predict_batch(const gnn::GraphBatch& batch);
 
   /// Graph-level embeddings (the encoder output that feeds the MLP head),
   /// [n, D] — the paper's Fig 6 visualizes these through t-SNE.
   tensor::Tensor embed_graphs(const std::vector<const gnn::GraphData*>& graphs);
 
   const TrainOptions& options() const { return opts_; }
+
+  /// Inference workspace (telemetry/tests: workspace_bytes, num_slots).
+  const gnn::InferenceSession& inference_session() const { return session_; }
+
+  /// Prediction/embedding chunk size: one GraphBatch per kChunk graphs.
+  static constexpr std::size_t kChunk = 256;
 
  private:
   tensor::Tensor batch_targets(const Dataset& ds,
@@ -67,6 +90,7 @@ class Trainer {
   PredictiveModel& model_;
   TrainOptions opts_;
   tensor::Adam adam_;
+  gnn::InferenceSession session_;
 };
 
 RegressionMetrics eval_regression(Trainer& trainer, const Dataset& ds,

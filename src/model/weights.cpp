@@ -54,6 +54,7 @@ void load_params(const std::vector<tensor::Parameter*>& params,
             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
   }
   if (!in) throw std::runtime_error("load_params: truncated file " + path);
+  tensor::bump_params_version();
 }
 
 bool weights_exist(const std::string& path) {

@@ -1,6 +1,7 @@
 #include "tensor/tensor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <ostream>
@@ -39,24 +40,19 @@ Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
   return t;
 }
 
-std::int64_t Tensor::rows() const {
-  if (shape_.empty()) return 0;
-  if (shape_.size() == 1) return shape_[0];
-  return shape_[0];
-}
-
-std::int64_t Tensor::cols() const {
-  if (shape_.empty()) return 0;
-  if (shape_.size() == 1) return 1;
-  std::int64_t c = 1;
-  for (std::size_t i = 1; i < shape_.size(); ++i) c *= shape_[i];
-  return c;
-}
-
 Tensor Tensor::reshaped(std::vector<std::int64_t> shape) const {
   if (static_cast<std::int64_t>(volume(shape)) != numel())
     throw std::invalid_argument("Tensor::reshaped: volume mismatch");
   return Tensor(std::move(shape), data_);
+}
+
+void Tensor::reset_(std::vector<std::int64_t> shape, bool zero) {
+  const std::size_t v = volume(shape);
+  if (zero)
+    data_.assign(v, 0.0f);
+  else
+    data_.resize(v);
+  shape_ = std::move(shape);
 }
 
 void Tensor::add_(const Tensor& other) {
@@ -164,32 +160,75 @@ constexpr std::int64_t kKc = 256;
 /// row grain so each chunk carries at least this many FLOPs.
 constexpr std::int64_t kParallelFlops = std::int64_t{1} << 20;
 
-/// Rows [i0, i1) of C += A x B on row-major packed operands. k advances in
-/// kKc panels, but for any output element the additions still happen in
-/// ascending-k order — the result is bit-identical to the plain i-k-j loop
-/// for every panel size and row split, which is what makes multi-threaded
-/// predictions reproducible (docs/performance.md).
+/// Column-tile width of the blocked kernel: 32 floats = 2 AVX-512 lanes of
+/// accumulators that live in registers for a whole k panel, so the output
+/// row is loaded/stored once per panel instead of once per k step. Wider
+/// tiles (64) measured slower here: the extra accumulator pressure costs
+/// more than the added FMA parallelism buys on this part.
+constexpr std::int64_t kJt = 32;
+
+/// Rows [i0, i1) of C (+)= A x B on row-major packed operands. k advances
+/// in kKc panels and columns in kJt register tiles, but for any output
+/// element the additions still happen in ascending-k order — the result is
+/// bit-identical to the plain i-k-j loop for every panel size, tile width
+/// and row split, which is what makes multi-threaded predictions
+/// reproducible (docs/performance.md).
+///
+/// `init`: the first k panel stores instead of accumulating, so the output
+/// needs no zero fill (the value is the same ascending-k sum from zero).
+/// `bias`: added once per element after its final panel — exactly the
+/// separate add_rowvec pass it replaces, one memory sweep cheaper.
+template <bool kFullTile>
+void matmul_tile(const float* ap, const float* bp, float* o, std::int64_t i0,
+                 std::int64_t i1, std::int64_t k, std::int64_t n,
+                 std::int64_t x0, std::int64_t x1, std::int64_t j0,
+                 std::int64_t jt, bool init, const float* bias) {
+  const bool last = x1 == k;
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float acc[kJt];
+    float* orow = o + i * n + j0;
+    const std::int64_t w = kFullTile ? kJt : jt;
+    if (init)
+      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] = 0.0f;
+    else
+      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] = orow[jj];
+    const float* arow = ap + i * k;
+    for (std::int64_t x = x0; x < x1; ++x) {
+      const float av_ix = arow[x];
+      if (av_ix == 0.0f) continue;
+      const float* brow = bp + x * n + j0;
+      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] += av_ix * brow[jj];
+    }
+    if (last && bias != nullptr)
+      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] += bias[j0 + jj];
+    for (std::int64_t jj = 0; jj < w; ++jj) orow[jj] = acc[jj];
+  }
+}
+
 void matmul_rows(const float* ap, const float* bp, float* o, std::int64_t i0,
-                 std::int64_t i1, std::int64_t k, std::int64_t n) {
+                 std::int64_t i1, std::int64_t k, std::int64_t n,
+                 bool init = false, const float* bias = nullptr) {
   for (std::int64_t x0 = 0; x0 < k; x0 += kKc) {
     const std::int64_t x1 = std::min(k, x0 + kKc);
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float* orow = o + i * n;
-      const float* arow = ap + i * k;
-      for (std::int64_t x = x0; x < x1; ++x) {
-        const float av_ix = arow[x];
-        if (av_ix == 0.0f) continue;
-        const float* brow = bp + x * n;
-        for (std::int64_t j = 0; j < n; ++j) orow[j] += av_ix * brow[j];
-      }
+    const bool panel_init = init && x0 == 0;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kJt) {
+      const std::int64_t jt = std::min(kJt, n - j0);
+      if (jt == kJt)
+        matmul_tile<true>(ap, bp, o, i0, i1, k, n, x0, x1, j0, jt, panel_init,
+                          bias);
+      else
+        matmul_tile<false>(ap, bp, o, i0, i1, k, n, x0, x1, j0, jt, panel_init,
+                           bias);
     }
   }
 }
 
 }  // namespace
 
-void matmul_acc(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
-                Tensor& out) {
+namespace {
+
+void matmul_impl(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                 Tensor& out, bool init, const float* bias) {
   MatView av = view2d(a, trans_a);
   MatView bv = view2d(b, trans_b);
   const std::int64_t m = av.r(), k = av.c(), n = bv.c();
@@ -226,11 +265,26 @@ void matmul_acc(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
     const std::int64_t grain = std::max<std::int64_t>(
         1, kParallelFlops / std::max<std::int64_t>(1, 2 * k * n));
     util::parallel_for(m, grain, [&](std::int64_t i0, std::int64_t i1) {
-      matmul_rows(ap, bp, o, i0, i1, k, n);
+      matmul_rows(ap, bp, o, i0, i1, k, n, init, bias);
     });
   } else {
-    matmul_rows(ap, bp, o, 0, m, k, n);
+    matmul_rows(ap, bp, o, 0, m, k, n, init, bias);
   }
+}
+
+}  // namespace
+
+void matmul_acc(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                Tensor& out) {
+  matmul_impl(a, b, trans_a, trans_b, out, /*init=*/false, /*bias=*/nullptr);
+}
+
+void matmul_bias(const Tensor& a, const Tensor& b, const Tensor* bias,
+                 Tensor& out) {
+  if (bias != nullptr && bias->numel() != view2d(b, false).c())
+    throw std::invalid_argument("matmul_bias: bias length != cols");
+  matmul_impl(a, b, false, false, out, /*init=*/true,
+              bias != nullptr ? bias->data() : nullptr);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
@@ -342,6 +396,18 @@ Tensor concat_cols(const std::vector<const Tensor*>& parts) {
     }
   }
   return out;
+}
+
+namespace {
+std::atomic<std::uint64_t> g_params_version{1};
+}  // namespace
+
+std::uint64_t params_version() {
+  return g_params_version.load(std::memory_order_relaxed);
+}
+
+void bump_params_version() {
+  g_params_version.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace gnndse::tensor

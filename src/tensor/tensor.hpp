@@ -38,8 +38,17 @@ class Tensor {
   std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
 
   /// Rows/cols of a 2-D tensor (rows of a 1-D tensor = numel, cols = 1).
-  std::int64_t rows() const;
-  std::int64_t cols() const;
+  /// Inline: at(r, c) calls cols() per element, so these sit on the hot
+  /// path of every row-indexed kernel.
+  std::int64_t rows() const {
+    return shape_.empty() ? 0 : shape_[0];
+  }
+  std::int64_t cols() const {
+    if (shape_.empty()) return 0;
+    std::int64_t c = 1;
+    for (std::size_t i = 1; i < shape_.size(); ++i) c *= shape_[i];
+    return c;
+  }
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
@@ -57,6 +66,13 @@ class Tensor {
 
   /// Reshape without copying; new volume must match.
   Tensor reshaped(std::vector<std::int64_t> shape) const;
+
+  /// In-place reshape that reuses the existing allocation whenever the
+  /// new volume fits the current capacity (the workspace-slot reuse in
+  /// gnn::InferenceSession depends on this being allocation-free in steady
+  /// state). `zero` clears the contents; otherwise they are unspecified
+  /// and the caller must overwrite every element.
+  void reset_(std::vector<std::int64_t> shape, bool zero);
 
   /// In-place accumulation: *this += other (shapes must match).
   void add_(const Tensor& other);
@@ -99,6 +115,15 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
 void matmul_acc(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
                 Tensor& out);
 
+/// C = A x B (+ bias per row), overwriting `out` — no zero fill needed.
+/// Per-element arithmetic is the same ascending-k sum from zero as
+/// matmul_acc on a zeroed output, followed by the same single bias add as
+/// add_rowvec, so results are bit-identical to that two-op sequence; this
+/// entry just skips the memset and the extra memory sweep (the inference
+/// fast path's Linear uses it).
+void matmul_bias(const Tensor& a, const Tensor& b, const Tensor* bias,
+                 Tensor& out);
+
 /// Elementwise binary ops (shapes must match).
 Tensor add(const Tensor& a, const Tensor& b);
 Tensor sub(const Tensor& a, const Tensor& b);
@@ -116,5 +141,13 @@ Tensor scatter_add_rows(const Tensor& a, const std::vector<std::int32_t>& idx,
 
 /// Concatenate along columns; all inputs must share the row count.
 Tensor concat_cols(const std::vector<const Tensor*>& parts);
+
+/// Process-wide monotonic version of all trainable parameters: bumped by
+/// every Adam::step() and load_params() call. Inference-side caches of
+/// weight-derived values (e.g. TransformerConv's per-batch edge
+/// projections) key on it so a training step or weight load can never
+/// serve stale results.
+std::uint64_t params_version();
+void bump_params_version();
 
 }  // namespace gnndse::tensor

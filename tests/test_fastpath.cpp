@@ -1,0 +1,282 @@
+// Tape-free inference fast path: bit-identity against the autodiff tape
+// across model variants, heads, and thread counts; template/skeleton cache
+// behaviour; and workspace reuse (no steady-state allocation).
+#include "gnn/infer.hpp"
+#include "model/dataset.hpp"
+#include "model/predictive_model.hpp"
+#include "model/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dspace/design_space.hpp"
+#include "gnn/batch.hpp"
+#include "kernels/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "oracle/evaluator.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace gnndse::model {
+namespace {
+
+ModelOptions tiny_options(ModelKind kind, std::int64_t out_dim) {
+  ModelOptions mo;
+  mo.kind = kind;
+  mo.gnn_layers = 3;
+  mo.hidden = 16;
+  mo.out_dim = out_dim;
+  return mo;
+}
+
+std::vector<hlssim::DesignConfig> sample_configs(const kir::Kernel& kernel,
+                                                 std::size_t n,
+                                                 std::uint64_t seed) {
+  dspace::DesignSpace space(kernel);
+  util::Rng rng(seed);
+  std::vector<hlssim::DesignConfig> configs;
+  configs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) configs.push_back(space.sample(rng));
+  return configs;
+}
+
+std::vector<gnn::GraphData> featurize_all(
+    SampleFactory& factory, const kir::Kernel& kernel,
+    const std::vector<hlssim::DesignConfig>& configs) {
+  std::vector<gnn::GraphData> graphs;
+  graphs.reserve(configs.size());
+  for (const auto& c : configs) graphs.push_back(factory.featurize(kernel, c));
+  return graphs;
+}
+
+std::vector<const gnn::GraphData*> pointers(
+    const std::vector<gnn::GraphData>& graphs) {
+  std::vector<const gnn::GraphData*> ptrs;
+  ptrs.reserve(graphs.size());
+  for (const auto& g : graphs) ptrs.push_back(&g);
+  return ptrs;
+}
+
+/// Exact float comparison: the fast path's contract is bit-identity with
+/// the tape, not tolerance-level agreement.
+void expect_bitwise(const tensor::Tensor& a, const tensor::Tensor& b,
+                    const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    ASSERT_EQ(a.data()[i], b.data()[i]) << what << " element " << i;
+}
+
+/// Restores the default pool size even when an assertion fails mid-test.
+struct ThreadGuard {
+  ~ThreadGuard() { util::set_parallel_threads(0); }
+};
+
+TEST(FastPath, BitIdenticalToTapeAcrossKindsAndThreads) {
+  ThreadGuard guard;
+  kir::Kernel kernel = kernels::make_kernel("spmv-crs");
+  SampleFactory factory;
+  const auto configs = sample_configs(kernel, 12, 7);
+  const auto graphs = featurize_all(factory, kernel, configs);
+  const auto ptrs = pointers(graphs);
+
+  const ModelKind kinds[] = {
+      ModelKind::kM1MlpPragma, ModelKind::kM2MlpContext, ModelKind::kM3Gcn,
+      ModelKind::kM4Gat,       ModelKind::kM5Tconv,      ModelKind::kM6TconvJkn,
+      ModelKind::kM7Full};
+  for (ModelKind kind : kinds) {
+    util::Rng rng(11);
+    PredictiveModel model(tiny_options(kind, 4), rng);
+    Trainer trainer(model, TrainOptions{});
+    for (int threads : {1, 2, 4}) {
+      util::set_parallel_threads(threads);
+      tensor::Tensor tape = trainer.predict_graphs_tape(ptrs);
+      tensor::Tensor fast = trainer.predict_graphs(ptrs);
+      expect_bitwise(tape, fast, to_string(kind));
+    }
+  }
+}
+
+TEST(FastPath, UngatedResidualAndSingleObjectiveHeadsBitIdentical) {
+  ThreadGuard guard;
+  kir::Kernel kernel = kernels::make_kernel("gemm-ncubed");
+  SampleFactory factory;
+  const auto configs = sample_configs(kernel, 10, 3);
+  const auto graphs = featurize_all(factory, kernel, configs);
+  const auto ptrs = pointers(graphs);
+
+  // BRAM regressor (out_dim 1) and the ablation without the beta gate.
+  for (bool gated : {true, false}) {
+    ModelOptions mo = tiny_options(ModelKind::kM7Full, 1);
+    mo.tconv_gated_residual = gated;
+    util::Rng rng(5);
+    PredictiveModel model(mo, rng);
+    TrainOptions to;
+    to.objectives = {kBram};
+    Trainer trainer(model, to);
+    for (int threads : {1, 2, 4}) {
+      util::set_parallel_threads(threads);
+      expect_bitwise(trainer.predict_graphs_tape(ptrs),
+                     trainer.predict_graphs(ptrs),
+                     gated ? "bram gated" : "bram ungated");
+    }
+  }
+
+  // Validity classifier (logits).
+  util::Rng rng(9);
+  PredictiveModel clf(tiny_options(ModelKind::kM7Full, 1), rng);
+  TrainOptions to;
+  to.task = Task::kClassification;
+  Trainer trainer(clf, to);
+  for (int threads : {1, 2, 4}) {
+    util::set_parallel_threads(threads);
+    expect_bitwise(trainer.predict_graphs_tape(ptrs),
+                   trainer.predict_graphs(ptrs), "classifier");
+  }
+}
+
+TEST(FastPath, BatchForMatchesPerConfigAssembly) {
+  kir::Kernel kernel = kernels::make_kernel("gemm-ncubed");
+  SampleFactory factory;
+
+  // Two different config sets of the same size: the second call reuses the
+  // first call's cached skeleton, so it also proves per-config pragma slots
+  // never leak between calls.
+  for (std::uint64_t seed : {1u, 2u}) {
+    const auto configs = sample_configs(kernel, 8, seed);
+    const auto graphs = featurize_all(factory, kernel, configs);
+    gnn::GraphBatch ref = gnn::make_batch(pointers(graphs));
+    const gnn::GraphBatch& b = factory.batch_for(kernel, configs);
+
+    expect_bitwise(ref.x, b.x, "batch x");
+    expect_bitwise(ref.e, b.e, "batch e");
+    expect_bitwise(ref.aux, b.aux, "batch aux");
+    EXPECT_EQ(ref.src_sl, b.src_sl);
+    EXPECT_EQ(ref.dst_sl, b.dst_sl);
+    EXPECT_EQ(ref.gcn_coeff, b.gcn_coeff);
+    EXPECT_EQ(ref.node_graph, b.node_graph);
+    EXPECT_EQ(ref.node_offset, b.node_offset);
+    EXPECT_EQ(ref.num_nodes, b.num_nodes);
+    EXPECT_EQ(ref.num_graphs, b.num_graphs);
+  }
+}
+
+TEST(FastPath, TemplateInvalidatedOnKernelEdit) {
+  obs::set_enabled(true);
+  obs::Counter& hits = obs::counter("gnn.template_hits");
+  obs::Counter& misses = obs::counter("gnn.template_misses");
+
+  kir::Kernel kernel = kernels::make_kernel("spmv-crs");
+  SampleFactory factory;
+  const auto configs = sample_configs(kernel, 2, 4);
+
+  const std::int64_t m0 = misses.value();
+  factory.featurize(kernel, configs[0]);  // first touch: one miss
+  EXPECT_EQ(misses.value(), m0 + 1);
+
+  const std::int64_t h0 = hits.value();
+  factory.featurize(kernel, configs[1]);  // warm template: hit, no rebuild
+  EXPECT_EQ(hits.value(), h0 + 1);
+  EXPECT_EQ(misses.value(), m0 + 1);
+
+  // Edit the kernel in place: same name, different digest -> the stale
+  // template must be rebuilt, not served.
+  const std::uint64_t before = oracle::kernel_digest(kernel);
+  kernel.loops[0].trip_count *= 2;
+  ASSERT_NE(oracle::kernel_digest(kernel), before);
+  factory.featurize(kernel, configs[0]);
+  EXPECT_EQ(misses.value(), m0 + 2);
+
+  obs::set_enabled(false);
+}
+
+TEST(FastPath, WorkspaceStopsGrowingAfterWarmup) {
+  kir::Kernel kernel = kernels::make_kernel("spmv-crs");
+  SampleFactory factory;
+  const auto configs = sample_configs(kernel, 16, 13);
+  const auto graphs = featurize_all(factory, kernel, configs);
+  const auto ptrs = pointers(graphs);
+
+  util::Rng rng(17);
+  PredictiveModel model(tiny_options(ModelKind::kM7Full, 4), rng);
+  Trainer trainer(model, TrainOptions{});
+
+  tensor::Tensor first = trainer.predict_graphs(ptrs);
+  const std::size_t bytes = trainer.inference_session().workspace_bytes();
+  const std::size_t slots = trainer.inference_session().num_slots();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_GT(slots, 0u);
+
+  for (int round = 0; round < 3; ++round) {
+    tensor::Tensor again = trainer.predict_graphs(ptrs);
+    expect_bitwise(first, again, "steady-state prediction");
+    EXPECT_EQ(trainer.inference_session().workspace_bytes(), bytes);
+    EXPECT_EQ(trainer.inference_session().num_slots(), slots);
+  }
+}
+
+TEST(FastPath, EdgeProjectionCacheInvalidatedByTraining) {
+  kir::Kernel kernel = kernels::make_kernel("spmv-crs");
+  SampleFactory factory;
+  const auto configs = sample_configs(kernel, 8, 29);
+  const auto graphs = featurize_all(factory, kernel, configs);
+  // One long-lived batch reused across a weight update — exactly the DSE
+  // skeleton situation the per-batch edge-projection cache must survive.
+  gnn::GraphBatch batch = gnn::make_batch(pointers(graphs));
+
+  util::Rng rng(31);
+  PredictiveModel model(tiny_options(ModelKind::kM7Full, 4), rng);
+  TrainOptions to;
+  to.epochs = 2;
+  Trainer trainer(model, to);
+  tensor::Tensor before = trainer.predict_batch(batch);  // warms the cache
+
+  Dataset ds;
+  ds.samples.resize(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    ds.samples[i].kernel = kernel.name;
+    ds.samples[i].graph = graphs[i];
+    ds.samples[i].target = {0.5f, 0.1f, 0.2f, 0.3f, 0.4f};
+    ds.samples[i].valid = true;
+  }
+  trainer.fit(ds, ds.all_indices());
+
+  // Same batch object, updated weights: the fast path must recompute the
+  // cached projections, matching a fresh tape forward bit for bit.
+  const tensor::Tensor& fast = trainer.predict_batch(batch);
+  tensor::Tape tape;
+  const tensor::Tensor& ref = tape.value(model.forward(tape, batch));
+  expect_bitwise(ref, fast, "post-training prediction");
+
+  // Sanity: training actually moved the weights, so a stale cache would
+  // have been visible above.
+  bool changed = false;
+  for (std::int64_t i = 0; i < before.numel() && !changed; ++i)
+    changed = before.data()[i] != fast.data()[i];
+  EXPECT_TRUE(changed);
+}
+
+TEST(FastPath, EmbeddingsMatchTapeGraphEmbedding) {
+  kir::Kernel kernel = kernels::make_kernel("spmv-crs");
+  SampleFactory factory;
+  const auto configs = sample_configs(kernel, 6, 21);
+  const auto graphs = featurize_all(factory, kernel, configs);
+  const auto ptrs = pointers(graphs);
+
+  util::Rng rng(23);
+  PredictiveModel model(tiny_options(ModelKind::kM7Full, 4), rng);
+  Trainer trainer(model, TrainOptions{});
+
+  // Tape reference: forward the whole batch, read last_graph_embedding.
+  gnn::GraphBatch batch = gnn::make_batch(ptrs);
+  tensor::Tape tape;
+  model.forward(tape, batch);
+  const tensor::Tensor& ref = tape.value(model.last_graph_embedding());
+
+  tensor::Tensor fast = trainer.embed_graphs(ptrs);
+  expect_bitwise(ref, fast, "graph embedding");
+}
+
+}  // namespace
+}  // namespace gnndse::model
