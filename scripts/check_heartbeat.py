@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate a GNN-DSE heartbeat stream (gnndse.heartbeat.v1 NDJSON).
+
+Stdlib-only. Checks the file obs::HeartbeatSampler appends during a run
+(docs/observability.md):
+
+  * every line parses as a JSON object with schema "gnndse.heartbeat.v1"
+  * seq starts at 0 and increments by 1 per line
+  * elapsed_ms is strictly increasing; unix_ms never decreases
+  * counters/gauges are objects of numbers; counters never decrease
+    between consecutive samples (registry counters are monotonic)
+  * rates is an object of finite numbers
+
+Requirements:
+  --min-samples N     at least N samples                        [default 2]
+  --allow-restarts    the file may concatenate several runs (seq resets to
+                      0); monotonicity is then checked per run segment
+
+Exit code 0 = valid, 1 = invalid, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "gnndse.heartbeat.v1"
+
+
+def fail(msg):
+    print(f"check_heartbeat: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_numeric_map(obj, what, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: {what} is not an object")
+    for k, v in obj.items():
+        if not isinstance(v, (int, float)) or not math.isfinite(v):
+            fail(f"{where}: {what}[{k}] = {v!r} is not a finite number")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("stream")
+    ap.add_argument("--min-samples", type=int, default=2)
+    ap.add_argument("--allow-restarts", action="store_true")
+    args = ap.parse_args()
+
+    try:
+        with open(args.stream, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        print(f"check_heartbeat: cannot read {args.stream}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if not lines:
+        fail("stream is empty")
+
+    n = 0
+    prev = None  # previous sample in the current run segment
+    segments = 1
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        try:
+            s = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{where}: not valid JSON: {e}")
+        if not isinstance(s, dict):
+            fail(f"{where}: not an object")
+        if s.get("schema") != SCHEMA:
+            fail(f"{where}: schema is {s.get('schema')!r}, expected {SCHEMA}")
+        seq = s.get("seq")
+        if not isinstance(seq, int) or seq < 0:
+            fail(f"{where}: bad seq {seq!r}")
+        if not isinstance(s.get("elapsed_ms"), (int, float)):
+            fail(f"{where}: missing numeric elapsed_ms")
+        if not isinstance(s.get("unix_ms"), int):
+            fail(f"{where}: missing integer unix_ms")
+        check_numeric_map(s.get("counters"), "counters", where)
+        check_numeric_map(s.get("gauges"), "gauges", where)
+        check_numeric_map(s.get("rates"), "rates", where)
+
+        if seq == 0 and prev is not None:
+            if not args.allow_restarts:
+                fail(f"{where}: seq reset to 0 mid-stream "
+                     "(use --allow-restarts for concatenated runs)")
+            segments += 1
+            prev = None
+        if prev is None:
+            if seq != 0:
+                fail(f"{where}: run segment starts at seq {seq}, expected 0")
+        else:
+            if seq != prev["seq"] + 1:
+                fail(f"{where}: seq {seq} follows {prev['seq']}")
+            if s["elapsed_ms"] <= prev["elapsed_ms"]:
+                fail(f"{where}: elapsed_ms {s['elapsed_ms']} not greater "
+                     f"than previous {prev['elapsed_ms']}")
+            if s["unix_ms"] < prev["unix_ms"]:
+                fail(f"{where}: unix_ms went backwards")
+            for k, v in prev["counters"].items():
+                if k in s["counters"] and s["counters"][k] < v:
+                    fail(f"{where}: counter {k} decreased "
+                         f"({v} -> {s['counters'][k]})")
+        prev = s
+        n += 1
+
+    if n < args.min_samples:
+        fail(f"only {n} samples, need >= {args.min_samples}")
+
+    seg = f", {segments} runs" if segments > 1 else ""
+    print(f"check_heartbeat: OK: {args.stream} ({n} samples{seg})")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

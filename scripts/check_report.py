@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""Validate a GNN-DSE telemetry run report (schema_version 1).
+"""Validate a GNN-DSE telemetry run report (schema_version 2).
 
 Stdlib-only. Checks the JSON structure emitted by obs::report_json()
-(docs/observability.md), then asserts the required stage spans and counters
-are present. Exit code 0 = valid, 1 = invalid, 2 = usage/IO error.
+(docs/observability.md), then asserts the required stage spans, counters,
+and gauges are present. Exit code 0 = valid, 1 = invalid, 2 = usage/IO
+error.
 
 Usage:
   check_report.py REPORT.json
       [--require-span pipeline/train ...]   (slash-separated path, repeatable)
+      [--require-span-anywhere NAME ...]    (any depth, repeatable)
       [--require-counter NAME ...]          (repeatable)
+      [--require-gauge NAME ...]            (repeatable)
       [--no-defaults]  only check the schema plus explicit requirements
 
 Default requirements (the standing pipeline stages):
-  spans:    pipeline/train, pipeline/dse.search, pipeline/hls.evaluate_top
-  counters: dse.configs_explored, hlssim.evaluations, oracle.misses
+  spans:        pipeline/train, pipeline/dse.search, pipeline/hls.evaluate_top
+  spans (any):  oracle.lookup, oracle.sim
+  counters:     dse.configs_explored, hlssim.evaluations, oracle.misses,
+                gnn.template_misses, gnn.fastpath_forwards
+  gauges:       parallel.pool_size, parallel.queue_depth
 """
 
 import argparse
@@ -24,6 +30,13 @@ DEFAULT_SPANS = [
     "pipeline/train",
     "pipeline/dse.search",
     "pipeline/hls.evaluate_top",
+]
+# Oracle decorator coverage: the cache probe and the simulator span must
+# appear somewhere in the tree (their depth depends on how many decorators
+# the oracle stack composed and on which thread's chunk they ran).
+DEFAULT_SPANS_ANYWHERE = [
+    "oracle.lookup",
+    "oracle.sim",
 ]
 DEFAULT_COUNTERS = [
     "dse.configs_explored",
@@ -37,6 +50,13 @@ DEFAULT_COUNTERS = [
     # pipeline.
     "gnn.template_misses",
     "gnn.fastpath_forwards",
+]
+# Gauges are presence-only (a queue that drained back to 0 is healthy).
+# Both are registered when the global pool is constructed, so they must
+# exist in any run that touched parallel_for — at every thread count.
+DEFAULT_GAUGES = [
+    "parallel.pool_size",
+    "parallel.queue_depth",
 ]
 
 HISTOGRAM_KEYS = ("count", "sum_ms", "min_ms", "max_ms", "p50_ms", "p95_ms",
@@ -56,6 +76,9 @@ def check_span(span, where):
     for key in ("start_ms", "duration_ms"):
         if not isinstance(span.get(key), (int, float)):
             fail(f"{where}/{span.get('name')}: missing numeric {key}")
+    # v2: every span carries the trace-local id of its recording thread.
+    if not isinstance(span.get("tid"), int) or span["tid"] < 0:
+        fail(f"{where}/{span['name']}: missing non-negative integer tid")
     if span.get("open"):
         fail(f"{where}/{span['name']}: span was never closed")
     counters = span.get("counters", {})
@@ -88,11 +111,19 @@ def find_span(roots, path):
     return found
 
 
+def iter_spans(spans):
+    for s in spans:
+        yield s
+        yield from iter_spans(s.get("children", []))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("report")
     ap.add_argument("--require-span", action="append", default=[])
+    ap.add_argument("--require-span-anywhere", action="append", default=[])
     ap.add_argument("--require-counter", action="append", default=[])
+    ap.add_argument("--require-gauge", action="append", default=[])
     ap.add_argument("--no-defaults", action="store_true")
     args = ap.parse_args()
 
@@ -105,8 +136,8 @@ def main():
         sys.exit(2)
 
     # --- schema -----------------------------------------------------------
-    if doc.get("schema_version") != 1:
-        fail(f"schema_version is {doc.get('schema_version')!r}, expected 1")
+    if doc.get("schema_version") != 2:
+        fail(f"schema_version is {doc.get('schema_version')!r}, expected 2")
     if not isinstance(doc.get("tool"), str) or not doc["tool"]:
         fail("missing tool name")
     if not isinstance(doc.get("elapsed_seconds"), (int, float)):
@@ -135,30 +166,35 @@ def main():
 
     # --- required stages --------------------------------------------------
     spans = list(args.require_span)
+    anywhere = list(args.require_span_anywhere)
     counters = list(args.require_counter)
+    gauges = list(args.require_gauge)
     if not args.no_defaults:
         spans += DEFAULT_SPANS
+        anywhere += DEFAULT_SPANS_ANYWHERE
         counters += DEFAULT_COUNTERS
+        gauges += DEFAULT_GAUGES
     for path in spans:
         if find_span(doc["spans"], path) is None:
             fail(f"required span missing: {path}")
+    seen_names = {s.get("name") for s in iter_spans(doc["spans"])}
+    for name in anywhere:
+        if name not in seen_names:
+            fail(f"required span missing (any depth): {name}")
     for name in counters:
         if name not in doc["counters"]:
             fail(f"required counter missing: {name}")
         if doc["counters"][name] <= 0:
             fail(f"required counter {name} is {doc['counters'][name]}, "
                  "expected > 0")
+    for name in gauges:
+        if name not in doc["gauges"]:
+            fail(f"required gauge missing: {name}")
 
     n_spans = sum(1 for _ in iter_spans(doc["spans"]))
     print(f"check_report: OK: {args.report} ({doc['tool']}, "
           f"{len(doc['counters'])} counters, {n_spans} spans)")
     sys.exit(0)
-
-
-def iter_spans(spans):
-    for s in spans:
-        yield s
-        yield from iter_spans(s.get("children", []))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a GNN-DSE Chrome-trace export (Trace Event Format JSON).
+
+Stdlib-only. Checks the file obs::write_chrome_trace() emits (the
+`traceEvents` schema loaded by Perfetto / chrome://tracing):
+
+  * top level: displayTimeUnit, otherData.trace_epoch_unix_us, traceEvents
+  * exactly one process_name metadata event; every thread_name metadata
+    event names a distinct tid
+  * every "X" event has a name, a tid with a thread_name row, numeric
+    ts/dur (dur >= 0), and an args object
+  * event timestamps are absolute (>= the trace epoch)
+
+Requirements (beyond structure):
+  --min-events N          at least N complete ("X") events       [default 1]
+  --require-thread NAME   a thread row named NAME exists and has at least
+                          one "X" event (repeatable)
+  --require-worker-spans  every thread named pool-worker-* has >= 1 "X"
+                          event (workers exist whenever the pool has >= 2
+                          lanes; combine with GNNDSE_THREADS=N to pin)
+
+Exit code 0 = valid, 1 = invalid, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=1)
+    ap.add_argument("--require-thread", action="append", default=[])
+    ap.add_argument("--require-worker-spans", action="store_true")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: cannot read {args.trace}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"displayTimeUnit is {doc.get('displayTimeUnit')!r}")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("missing otherData object")
+    epoch = other.get("trace_epoch_unix_us")
+    if not isinstance(epoch, int) or epoch <= 0:
+        fail(f"otherData.trace_epoch_unix_us is {epoch!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents array")
+
+    process_names = []
+    thread_names = {}  # tid -> name
+    spans_per_tid = {}  # tid -> count of "X" events
+    n_events = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            kind = ev.get("name")
+            name = (ev.get("args") or {}).get("name")
+            if not isinstance(name, str) or not name:
+                fail(f"{where}: metadata event without args.name")
+            if kind == "process_name":
+                process_names.append(name)
+            elif kind == "thread_name":
+                tid = ev.get("tid")
+                if not isinstance(tid, int):
+                    fail(f"{where}: thread_name without integer tid")
+                if tid in thread_names:
+                    fail(f"{where}: duplicate thread_name for tid {tid}")
+                thread_names[tid] = name
+            else:
+                fail(f"{where}: unknown metadata event {kind!r}")
+        elif ph == "X":
+            n_events += 1
+            if not isinstance(ev.get("name"), str) or not ev["name"]:
+                fail(f"{where}: X event without name")
+            tid = ev.get("tid")
+            if not isinstance(tid, int):
+                fail(f"{where}: X event without integer tid")
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < epoch:
+                fail(f"{where} ({ev['name']}): ts {ts!r} precedes the "
+                     f"trace epoch {epoch}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where} ({ev['name']}): bad dur {dur!r}")
+            if not isinstance(ev.get("args"), dict):
+                fail(f"{where} ({ev['name']}): missing args object")
+            spans_per_tid[tid] = spans_per_tid.get(tid, 0) + 1
+        else:
+            fail(f"{where}: unexpected ph {ph!r}")
+
+    if len(process_names) != 1:
+        fail(f"expected exactly one process_name event, got {process_names}")
+    for tid in spans_per_tid:
+        if tid not in thread_names:
+            fail(f"tid {tid} has events but no thread_name metadata")
+    if n_events < args.min_events:
+        fail(f"only {n_events} complete events, need >= {args.min_events}")
+
+    by_name = {}
+    for tid, name in thread_names.items():
+        by_name.setdefault(name, 0)
+        by_name[name] += spans_per_tid.get(tid, 0)
+    for name in args.require_thread:
+        if name not in by_name:
+            fail(f"required thread row missing: {name}")
+        if by_name[name] == 0:
+            fail(f"thread row {name} has no complete events")
+    if args.require_worker_spans:
+        workers = [n for n in by_name if n.startswith("pool-worker-")]
+        if not workers:
+            fail("no pool-worker-* thread rows in the trace")
+        for name in sorted(workers):
+            if by_name[name] == 0:
+                fail(f"worker row {name} has no complete events")
+
+    print(f"check_trace: OK: {args.trace} ({process_names[0]}, "
+          f"{len(thread_names)} threads, {n_events} events)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

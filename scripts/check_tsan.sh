@@ -2,7 +2,9 @@
 # ThreadSanitizer pass over the parallel-execution layer: configures a
 # -DGNNDSE_TSAN=ON build in build-tsan/, builds the thread-safety suites
 # (test_parallel, test_obs, test_oracle, test_fastpath), and runs them via
-# `ctest -L tsan`.
+# `ctest -L tsan`. test_obs includes the live-telemetry races: concurrent
+# Histogram::observe vs *_snapshot(), heartbeat-sampler start/stop under
+# metric hammering, and cross-thread span-context adoption.
 #
 # Usage: scripts/check_tsan.sh [build-dir]     (default: build-tsan)
 # Exits 0 with a notice when the toolchain has no usable TSan runtime

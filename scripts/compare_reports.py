@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Diff two GNN-DSE run reports and flag regressions.
+
+Stdlib-only. Compares a baseline report (bench/BASELINE_report.json in the
+standing ctest gate) against a freshly generated one:
+
+  * counters: every baseline counter must still exist, and the ratio
+    (current+1)/(baseline+1) must stay inside [1/R, R]
+  * histograms: p50_ms and p95_ms ratios must stay inside [1/R, R]
+    (skipped when either side has count < --min-hist-count)
+  * spans: every span name in the baseline tree must still appear; with
+    --span-ratio R > 0, total duration per name is ratio-checked too
+    (off by default — wall-clock is machine-dependent)
+
+Ratios are generous by design: the gate exists to catch structural drift
+(a stage or metric silently vanishing, a counter exploding by orders of
+magnitude), not to re-litigate machine speed. Tighten per metric with
+--threshold NAME=R; drop noisy families with --ignore REGEX.
+
+Usage:
+  compare_reports.py BASELINE.json CURRENT.json
+      [--counter-ratio R]        default 20.0
+      [--hist-ratio R]           default 50.0
+      [--span-ratio R]           default 0 (presence only)
+      [--min-count N]            skip counters where both sides < N [10]
+      [--min-hist-count N]       skip histograms below N samples [5]
+      [--threshold NAME=R]       per-metric ratio override (repeatable)
+      [--ignore REGEX]           skip matching counter/histogram/span
+                                 names entirely (repeatable)
+      [--update]                 overwrite BASELINE.json with CURRENT.json
+                                 (refreshing the checked-in baseline)
+
+Exit code 0 = no regression, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import re
+import shutil
+import sys
+
+
+def die(msg):
+    print(f"compare_reports: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}")
+
+
+def iter_spans(spans):
+    for s in spans:
+        yield s
+        yield from iter_spans(s.get("children", []))
+
+
+def span_durations(doc):
+    """Total duration per span name over the whole tree."""
+    out = {}
+    for s in iter_spans(doc.get("spans", [])):
+        out[s["name"]] = out.get(s["name"], 0.0) + s.get("duration_ms", 0.0)
+    return out
+
+
+class Differ:
+    def __init__(self, args):
+        self.args = args
+        self.ignored = [re.compile(p) for p in args.ignore]
+        self.overrides = {}
+        for spec in args.threshold:
+            name, _, ratio = spec.partition("=")
+            if not ratio:
+                die(f"bad --threshold {spec!r}, expected NAME=RATIO")
+            self.overrides[name] = float(ratio)
+        self.failures = []
+        self.checked = 0
+
+    def skip(self, name):
+        return any(p.search(name) for p in self.ignored)
+
+    def ratio_ok(self, name, base, cur, default_ratio, what):
+        limit = self.overrides.get(name, default_ratio)
+        if limit <= 0:
+            return
+        ratio = (cur + 1.0) / (base + 1.0)
+        self.checked += 1
+        if ratio > limit or ratio < 1.0 / limit:
+            self.failures.append(
+                f"{what} {name}: {base:g} -> {cur:g} "
+                f"(ratio {ratio:.2f}, limit {limit:g})")
+
+    def run(self, base, cur):
+        a = self.args
+        for name, bval in base.get("counters", {}).items():
+            if self.skip(name):
+                continue
+            cval = cur.get("counters", {}).get(name)
+            if cval is None:
+                self.failures.append(f"counter {name} missing from current")
+                continue
+            if max(bval, cval) < a.min_count:
+                continue
+            self.ratio_ok(name, bval, cval, a.counter_ratio, "counter")
+
+        for name, bh in base.get("histograms", {}).items():
+            if self.skip(name):
+                continue
+            ch = cur.get("histograms", {}).get(name)
+            if ch is None:
+                self.failures.append(f"histogram {name} missing from current")
+                continue
+            if min(bh["count"], ch["count"]) < a.min_hist_count:
+                continue
+            for q in ("p50_ms", "p95_ms"):
+                self.ratio_ok(f"{name}.{q}", bh[q], ch[q], a.hist_ratio,
+                              "histogram")
+
+        base_spans = span_durations(base)
+        cur_spans = span_durations(cur)
+        for name, bdur in base_spans.items():
+            if self.skip(name):
+                continue
+            if name not in cur_spans:
+                self.failures.append(f"span {name} missing from current")
+                continue
+            self.ratio_ok(name, bdur, cur_spans[name], a.span_ratio, "span")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--counter-ratio", type=float, default=20.0)
+    ap.add_argument("--hist-ratio", type=float, default=50.0)
+    ap.add_argument("--span-ratio", type=float, default=0.0)
+    ap.add_argument("--min-count", type=int, default=10)
+    ap.add_argument("--min-hist-count", type=int, default=5)
+    ap.add_argument("--threshold", action="append", default=[])
+    ap.add_argument("--ignore", action="append", default=[])
+    ap.add_argument("--update", action="store_true")
+    args = ap.parse_args()
+
+    if args.update:
+        load(args.current)  # refuse to install an unparseable baseline
+        try:
+            shutil.copyfile(args.current, args.baseline)
+        except OSError as e:
+            die(f"cannot update {args.baseline}: {e}")
+        print(f"compare_reports: baseline {args.baseline} updated from "
+              f"{args.current}")
+        sys.exit(0)
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    for doc, path in ((base, args.baseline), (cur, args.current)):
+        if doc.get("schema_version") != 2:
+            die(f"{path}: schema_version "
+                f"{doc.get('schema_version')!r}, expected 2")
+
+    differ = Differ(args)
+    differ.run(base, cur)
+    if differ.failures:
+        for f in differ.failures:
+            print(f"compare_reports: REGRESSION: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"compare_reports: OK: {args.current} vs {args.baseline} "
+          f"({differ.checked} ratio checks)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

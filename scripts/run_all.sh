@@ -18,6 +18,12 @@ ctest --test-dir build 2>&1 | tee test_output.txt || exit 1
 # top-M when 20% of HLS-tool attempts crash (docs/oracle.md).
 ctest --test-dir build -R '^dse_fault_degradation$' --output-on-failure \
   2>&1 | tee fault_degradation_output.txt || exit 1
+# Live-telemetry gates: Chrome-trace + heartbeat round trip against the
+# real pipeline, and the report-vs-baseline structural diff
+# (docs/observability.md).
+ctest --test-dir build \
+  -R '^(trace_emit_check|heartbeat_check|report_regression_diff)$' \
+  --output-on-failure 2>&1 | tee live_telemetry_output.txt || exit 1
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

@@ -10,7 +10,11 @@
 //
 // Every command honors --report <path> (or the GNNDSE_REPORT env var): a
 // machine-readable JSON run report — metrics registry plus the span tree —
-// is written there on exit (see docs/observability.md).
+// is written there on exit. --trace <path> (GNNDSE_TRACE) additionally
+// writes a Chrome-trace JSON timeline loadable in Perfetto, and
+// --heartbeat <path> (GNNDSE_HEARTBEAT, interval GNNDSE_HEARTBEAT_MS)
+// streams live NDJSON progress samples while the command runs (see
+// docs/observability.md).
 #include <cstdio>
 #include <iostream>
 
@@ -214,9 +218,12 @@ int main(int argc, char** argv) {
   cli::Args args(argc, argv);
   if (args.positional().empty()) return usage();
   const std::string& cmd = args.positional()[0];
-  // Active when --report is given (or GNNDSE_REPORT is set): enables
-  // telemetry, opens the root `pipeline` span, writes the report on exit.
-  obs::ReportSession report("gnndse." + cmd, args.get("report", ""));
+  // Active when any of --report/--trace/--heartbeat is given (or the
+  // GNNDSE_REPORT / GNNDSE_TRACE / GNNDSE_HEARTBEAT env vars are set):
+  // enables telemetry, opens the root `pipeline` span, streams heartbeat
+  // samples while running, and writes the report + Chrome trace on exit.
+  obs::ReportSession report("gnndse." + cmd, args.get("report", ""),
+                            args.get("trace", ""), args.get("heartbeat", ""));
   try {
     if (cmd == "list") return cmd_list();
     if (cmd == "eval") return cmd_eval(args);

@@ -141,9 +141,15 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
   static obs::Counter& c_explored = obs::counter("dse.configs_explored");
   static obs::Counter& c_beam = obs::counter("dse.beam_expansions");
   static obs::Counter& c_random = obs::counter("dse.random_samples");
+  // Progress gauges feed the heartbeat stream's eta_seconds rate.
+  static obs::Gauge& g_limit = obs::gauge("dse.time_limit_seconds");
+  static obs::Gauge& g_elapsed = obs::gauge("dse.search_elapsed_seconds");
+  static obs::Gauge& g_frontier = obs::gauge("dse.frontier_size");
   // The span's internal stopwatch doubles as the search time limit (the
   // old bare util::Timer), so timing works whether or not obs records.
   obs::ScopedSpan timer("dse.search");
+  obs::set(g_limit, opts.time_limit_seconds);
+  obs::set(g_elapsed, 0.0);
   const dspace::DesignSpace& space = factory_.space(kernel);
   DseResult result;
   std::vector<RankedDesign> ranked;
@@ -161,6 +167,8 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
     const std::size_t keep = static_cast<std::size_t>(
         std::max(opts.top_m, opts.beam_width) * 4);
     if (ranked.size() > keep) ranked.resize(keep);
+    obs::set(g_elapsed, timer.seconds());
+    obs::set(g_frontier, static_cast<double>(ranked.size()));
   };
 
   if (space.pruned_size() <= opts.max_exhaustive) {

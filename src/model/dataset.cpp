@@ -95,6 +95,8 @@ const gnn::GraphBatch& SampleFactory::batch_for(
   static obs::Counter& c_misses = obs::counter("gnn.batch_skeleton_misses");
   if (configs.empty())
     throw std::invalid_argument("batch_for: empty config list");
+  obs::ScopedSpan span("gnn.batch_assemble");
+  span.add("configs", static_cast<double>(configs.size()));
   GraphTemplate& kc = cache_for(kernel);
 
   // Skeleton lookup (MRU list, keyed by kernel + digest + batch size).

@@ -5,6 +5,7 @@
 #include "graphgen/featurize.hpp"
 #include "model/dataset.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gnndse::model {
 
@@ -133,24 +134,34 @@ const tensor::Tensor& PredictiveModel::forward_infer(
       break;
   }
 
+  // Phase spans split a fast-path forward into its trace-visible stages:
+  // message passing (+ JKN), graph pooling, and the prediction head.
   const tensor::Tensor* hcur = &b.x;
   std::vector<const tensor::Tensor*> layer_outputs;
   layer_outputs.reserve(convs_.size());
-  for (auto& conv : convs_) {
-    hcur = &s.elu(conv->forward_infer(s, *hcur, b));
-    layer_outputs.push_back(hcur);
+  const tensor::Tensor* node_repr;
+  {
+    obs::ScopedSpan span("gnn.fastpath.convs");
+    for (auto& conv : convs_) {
+      hcur = &s.elu(conv->forward_infer(s, *hcur, b));
+      layer_outputs.push_back(hcur);
+    }
+    node_repr = hcur;
+    if (opts_.kind == ModelKind::kM6TconvJkn ||
+        opts_.kind == ModelKind::kM7Full)
+      node_repr = &gnn::jumping_knowledge_max_infer(s, layer_outputs);
   }
-  const tensor::Tensor* node_repr = hcur;
-  if (opts_.kind == ModelKind::kM6TconvJkn ||
-      opts_.kind == ModelKind::kM7Full)
-    node_repr = &gnn::jumping_knowledge_max_infer(s, layer_outputs);
 
   const tensor::Tensor* graph_repr;
-  if (opts_.kind == ModelKind::kM7Full)
-    graph_repr = &att_pool_->forward_infer(s, *node_repr, b);
-  else
-    graph_repr = &gnn::sum_pool_infer(s, *node_repr, b);
+  {
+    obs::ScopedSpan span("gnn.fastpath.pool");
+    if (opts_.kind == ModelKind::kM7Full)
+      graph_repr = &att_pool_->forward_infer(s, *node_repr, b);
+    else
+      graph_repr = &gnn::sum_pool_infer(s, *node_repr, b);
+  }
   last_embedding_infer_ = graph_repr;
+  obs::ScopedSpan span("gnn.fastpath.head");
   return head_->forward_infer(s, *graph_repr);
 }
 

@@ -129,6 +129,8 @@ Tensor Trainer::predict(const Dataset& ds,
 const Tensor& Trainer::predict_batch(const gnn::GraphBatch& batch) {
   static obs::Counter& c_inf = obs::counter("gnn.inferences");
   static obs::Gauge& g_ws = obs::gauge("gnn.workspace_bytes");
+  obs::ScopedSpan span("gnn.predict_batch");
+  span.add("graphs", static_cast<double>(batch.num_graphs));
   const Tensor& pred = model_.forward_infer(session_, batch);
   if (obs::enabled()) {
     c_inf.add(batch.num_graphs);

@@ -1,0 +1,30 @@
+// Chrome-trace exporter: renders the recorded span store as Trace Event
+// Format JSON (the `traceEvents` schema understood by Perfetto and
+// chrome://tracing). Each closed span becomes one complete ("ph":"X")
+// event on its recording thread's row, with absolute microsecond
+// timestamps and the span's attached counters as args; registered thread
+// names (obs::set_thread_name — "main", "pool-worker-N") become
+// thread_name metadata so a pipeline run reads as a per-thread timeline
+// of train/featurize/predict/oracle spans.
+//
+// Wired up by ReportSession: set GNNDSE_TRACE=<path> (or pass `--trace`
+// to the CLI) and the trace is written when the session closes. See
+// docs/observability.md for the Perfetto workflow.
+#pragma once
+
+#include <string>
+
+namespace gnndse::obs {
+
+/// Env var naming the Chrome-trace destination (ReportSession fallback).
+inline constexpr const char* kTraceEnvVar = "GNNDSE_TRACE";
+
+/// Renders the full trace store as Trace Event Format JSON.
+std::string chrome_trace_json(const std::string& process_name);
+
+/// Writes chrome_trace_json() to `path`. Returns false (and logs a
+/// warning) on I/O failure instead of throwing — traces are best-effort.
+bool write_chrome_trace(const std::string& path,
+                        const std::string& process_name);
+
+}  // namespace gnndse::obs

@@ -1,0 +1,84 @@
+// Heartbeat progress stream: a background sampler that appends one NDJSON
+// snapshot of the metrics registry per interval while a run is in flight,
+// so long phases (dataset generation over the HLS oracle, GNN training,
+// multi-round DSE sweeps) can be observed live instead of only via the
+// run report at process exit. This is the polling substrate the planned
+// DSE-as-a-service daemon and sharded sweeps consume.
+//
+// Each line (schema `gnndse.heartbeat.v1`, docs/observability.md):
+//
+//   {"schema":"gnndse.heartbeat.v1","seq":3,"elapsed_ms":1502.1,
+//    "unix_ms":1754650000123,
+//    "counters":{"dse.configs_explored":8000,...},
+//    "gauges":{"dse.frontier_size":80,...},
+//    "rates":{"dse.configs_per_sec":5300.0,
+//             "hlssim.evaluations_per_sec":12.0,
+//             "oracle.hit_ratio":0.42,"eta_seconds":3.5}}
+//
+// Rates are derived: *_per_sec from the counter delta since the previous
+// sample, oracle.hit_ratio cumulatively from oracle.hits/misses, and
+// eta_seconds from the dse.time_limit_seconds / dse.search_elapsed_seconds
+// gauges while a search is running. elapsed_ms is strictly monotonic
+// across samples; seq starts at 0. A sample is written immediately on
+// start and a final one on stop, so even sub-interval runs emit >= 2.
+//
+// Wired up by ReportSession: set GNNDSE_HEARTBEAT=<path> (interval via
+// GNNDSE_HEARTBEAT_MS, default 500, floor 10) and the sampler runs for
+// the session's lifetime.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace gnndse::obs {
+
+/// Env vars naming the heartbeat destination and sample interval.
+inline constexpr const char* kHeartbeatEnvVar = "GNNDSE_HEARTBEAT";
+inline constexpr const char* kHeartbeatIntervalEnvVar = "GNNDSE_HEARTBEAT_MS";
+inline constexpr double kHeartbeatDefaultIntervalMs = 500.0;
+
+class HeartbeatSampler {
+ public:
+  /// Opens `path` for appending and starts the sampler thread (one sample
+  /// immediately, then one per `interval_ms`, floored at 10 ms). A path
+  /// that cannot be opened logs a warning and leaves the sampler inert.
+  HeartbeatSampler(std::string path, double interval_ms);
+  ~HeartbeatSampler();
+  HeartbeatSampler(const HeartbeatSampler&) = delete;
+  HeartbeatSampler& operator=(const HeartbeatSampler&) = delete;
+
+  /// Stops the sampler thread and writes the final sample. Idempotent.
+  void stop();
+
+  /// Samples written so far (including the final one after stop()).
+  std::int64_t samples_written() const;
+
+ private:
+  void run();
+  void write_sample();
+
+  std::string path_;
+  double interval_ms_;
+  std::ofstream out_;
+  util::Timer timer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::int64_t seq_ = 0;
+  double last_elapsed_ms_ = -1.0;
+  /// Previous sample's values for the derived rates.
+  double prev_elapsed_ms_ = 0.0;
+  std::int64_t prev_configs_ = 0;
+  std::int64_t prev_evals_ = 0;
+
+  std::thread thread_;  // last: started after every field is ready
+};
+
+}  // namespace gnndse::obs

@@ -1,0 +1,53 @@
+// Minimal JSON rendering helpers shared by the telemetry exporters
+// (report.cpp, chrome_trace.cpp, heartbeat.cpp). Internal to src/obs —
+// consumers of the reports parse them with real JSON libraries
+// (scripts/*.py use the Python stdlib).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gnndse::obs::jsonu {
+
+/// Appends `s` as a double-quoted JSON string with the escapes the
+/// exporters need (quote, backslash, newline; metric and span names never
+/// carry other control characters).
+inline void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+/// Appends a finite JSON number; JSON has no inf/nan, so those clamp to
+/// null-free sentinels.
+inline void append_number(std::ostringstream& os, double v) {
+  if (!(v == v)) {
+    os << 0;
+    return;
+  }
+  if (v > 1e308) {
+    os << 1e308;
+    return;
+  }
+  if (v < -1e308) {
+    os << -1e308;
+    return;
+  }
+  os << v;
+}
+
+}  // namespace gnndse::obs::jsonu

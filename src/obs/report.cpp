@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
@@ -11,43 +14,8 @@ namespace gnndse::obs {
 
 namespace {
 
-// JSON string/number rendering in the style of graphgen/json_export.cpp.
-void append_escaped(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      default:
-        os << c;
-    }
-  }
-  os << '"';
-}
-
-void append_number(std::ostringstream& os, double v) {
-  // JSON has no inf/nan; clamp to null-free sentinels.
-  if (!(v == v)) {
-    os << 0;
-    return;
-  }
-  if (v > 1e308) {
-    os << 1e308;
-    return;
-  }
-  if (v < -1e308) {
-    os << -1e308;
-    return;
-  }
-  os << v;
-}
+using jsonu::append_escaped;
+using jsonu::append_number;
 
 void append_span(std::ostringstream& os, const std::vector<SpanRecord>& spans,
                  const std::vector<std::vector<std::int64_t>>& children,
@@ -55,7 +23,7 @@ void append_span(std::ostringstream& os, const std::vector<SpanRecord>& spans,
   const SpanRecord& s = spans[static_cast<std::size_t>(id)];
   os << "{\"name\":";
   append_escaped(os, s.name);
-  os << ",\"start_ms\":";
+  os << ",\"tid\":" << s.tid << ",\"start_ms\":";
   append_number(os, s.start_ms);
   os << ",\"duration_ms\":";
   append_number(os, s.duration_ms);
@@ -82,12 +50,34 @@ void append_span(std::ostringstream& os, const std::vector<SpanRecord>& spans,
   os << "]}";
 }
 
+/// Path from `explicit_path`, else from `env_var`, else empty.
+std::string resolve_path(std::string explicit_path, const char* env_var) {
+  if (!explicit_path.empty()) return explicit_path;
+  const char* env = std::getenv(env_var);
+  if (env != nullptr && *env != '\0') return env;
+  return {};
+}
+
+double heartbeat_interval_ms() {
+  const char* env = std::getenv(kHeartbeatIntervalEnvVar);
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) return v;
+    util::log_warn("obs: ignoring invalid ", kHeartbeatIntervalEnvVar, "=",
+                   env);
+  }
+  return kHeartbeatDefaultIntervalMs;
+}
+
 }  // namespace
 
 std::string report_json(const std::string& tool, double elapsed_seconds) {
   std::ostringstream os;
   os.precision(9);
-  os << "{\"schema_version\":1,\"tool\":";
+  // v2: spans carry "tid" (trace-local thread id) so report consumers can
+  // distinguish pool-side work from the submitting thread.
+  os << "{\"schema_version\":2,\"tool\":";
   append_escaped(os, tool);
   os << ",\"elapsed_seconds\":";
   append_number(os, elapsed_seconds);
@@ -173,22 +163,40 @@ bool write_report(const std::string& path, const std::string& tool,
   return true;
 }
 
-ReportSession::ReportSession(std::string tool, std::string path)
-    : tool_(std::move(tool)), path_(std::move(path)) {
-  if (path_.empty()) {
-    const char* env = std::getenv(kReportEnvVar);
-    if (env != nullptr && *env != '\0') path_ = env;
-  }
-  if (path_.empty()) return;
+ReportSession::ReportSession(std::string tool, std::string report_path,
+                             std::string trace_path,
+                             std::string heartbeat_path)
+    : tool_(std::move(tool)),
+      report_path_(resolve_path(std::move(report_path), kReportEnvVar)),
+      trace_path_(resolve_path(std::move(trace_path), kTraceEnvVar)),
+      heartbeat_path_(
+          resolve_path(std::move(heartbeat_path), kHeartbeatEnvVar)) {
+  active_ =
+      !(report_path_.empty() && trace_path_.empty() && heartbeat_path_.empty());
+  if (!active_) return;
   set_enabled(true);
+  set_thread_name("main");
   root_.emplace("pipeline");
+  if (!heartbeat_path_.empty())
+    heartbeat_ = std::make_unique<HeartbeatSampler>(heartbeat_path_,
+                                                    heartbeat_interval_ms());
 }
 
 ReportSession::~ReportSession() {
-  if (path_.empty()) return;
-  root_.reset();  // close the root span before exporting
-  if (write_report(path_, tool_, timer_.seconds()))
-    util::log_info("obs: run report written to ", path_);
+  if (!active_) return;
+  // Order matters: stop the sampler (its final NDJSON line captures the
+  // end-of-run registry), close the root span so the exporters see it with
+  // a real duration, then render the report and trace.
+  if (heartbeat_ != nullptr) {
+    heartbeat_->stop();
+    util::log_info("obs: heartbeat stream written to ", heartbeat_path_);
+  }
+  root_.reset();
+  if (!report_path_.empty() &&
+      write_report(report_path_, tool_, timer_.seconds()))
+    util::log_info("obs: run report written to ", report_path_);
+  if (!trace_path_.empty() && write_chrome_trace(trace_path_, tool_))
+    util::log_info("obs: chrome trace written to ", trace_path_);
 }
 
 }  // namespace gnndse::obs

@@ -1,20 +1,33 @@
 // Machine-readable run reports: serializes the metrics registry and the
-// recorded span tree to JSON (schema_version 1; see docs/observability.md
+// recorded span tree to JSON (schema_version 2; see docs/observability.md
 // for the schema and scripts/check_report.py for a stdlib-only validator).
 //
 // ReportSession is the one-liner used by the CLI (--report PATH) and by
-// every bench binary (GNNDSE_REPORT env var, via bench_common.hpp): when a
-// path is configured it enables telemetry, opens the root `pipeline` span,
-// and writes the report on destruction. With no path it does nothing and
-// instrumentation throughout the pipeline stays a no-op.
+// every bench binary (GNNDSE_REPORT env var, via bench_common.hpp): when
+// any output is configured it enables telemetry, opens the root `pipeline`
+// span, and writes the outputs on destruction. It now drives all three
+// telemetry sinks:
+//
+//   report     --report PATH      / GNNDSE_REPORT        JSON run report
+//   trace      --trace PATH       / GNNDSE_TRACE         Chrome-trace JSON
+//                                                        (obs/chrome_trace.hpp)
+//   heartbeat  --heartbeat PATH   / GNNDSE_HEARTBEAT     live NDJSON stream
+//                                   (+ GNNDSE_HEARTBEAT_MS interval)
+//                                                        (obs/heartbeat.hpp)
+//
+// With nothing configured the session does nothing and instrumentation
+// throughout the pipeline stays a no-op.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "obs/trace.hpp"
 
 namespace gnndse::obs {
+
+class HeartbeatSampler;
 
 /// Renders the full report JSON: tool name, elapsed seconds, counters,
 /// gauges, histograms (with p50/p95/max and raw buckets), and the span tree.
@@ -30,25 +43,34 @@ inline constexpr const char* kReportEnvVar = "GNNDSE_REPORT";
 
 class ReportSession {
  public:
-  /// Activates when `path` is non-empty, otherwise when $GNNDSE_REPORT is
-  /// set; inactive sessions cost nothing. An active session turns
-  /// telemetry on and opens the root span (named "pipeline").
-  explicit ReportSession(std::string tool, std::string path = "");
+  /// Activates when any of the three paths is non-empty; empty paths fall
+  /// back to their env vars ($GNNDSE_REPORT / $GNNDSE_TRACE /
+  /// $GNNDSE_HEARTBEAT). Inactive sessions cost nothing. An active
+  /// session turns telemetry on, names the calling thread "main", opens
+  /// the root span (named "pipeline"), and starts the heartbeat sampler
+  /// when a heartbeat path is configured.
+  explicit ReportSession(std::string tool, std::string report_path = "",
+                         std::string trace_path = "",
+                         std::string heartbeat_path = "");
   ~ReportSession();
   ReportSession(const ReportSession&) = delete;
   ReportSession& operator=(const ReportSession&) = delete;
 
-  bool active() const { return !path_.empty(); }
-  const std::string& path() const { return path_; }
+  bool active() const { return active_; }
+  const std::string& path() const { return report_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+  const std::string& heartbeat_path() const { return heartbeat_path_; }
 
   /// Wall-clock since construction — active or not, so binaries can use
   /// the session as their run stopwatch (replacing a bare util::Timer).
   double seconds() const { return timer_.seconds(); }
 
  private:
-  std::string tool_, path_;
+  std::string tool_, report_path_, trace_path_, heartbeat_path_;
+  bool active_ = false;
   util::Timer timer_;
   std::optional<ScopedSpan> root_;
+  std::unique_ptr<HeartbeatSampler> heartbeat_;
 };
 
 }  // namespace gnndse::obs

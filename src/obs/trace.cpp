@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <chrono>
 #include <mutex>
 
 #include "obs/metrics.hpp"
@@ -8,35 +9,72 @@ namespace gnndse::obs {
 
 namespace {
 
+constexpr std::size_t kDefaultTraceCapacity = 131072;
+
 struct TraceStore {
   std::mutex mu;
   std::vector<SpanRecord> spans;
   util::Timer epoch;  // trace time zero = first touch of the store
+  std::int64_t epoch_unix_us = 0;
+  std::size_t capacity = kDefaultTraceCapacity;
+  std::int64_t dropped = 0;
+  std::int64_t next_tid = 0;
+  std::vector<std::string> names;  // indexed by tid
 };
 
 TraceStore& store() {
   // Deliberately leaked so spans can close and be exported during static
   // destruction (file-scope ReportSession), mirroring registry().
-  static TraceStore* t = new TraceStore();
+  static TraceStore* t = [] {
+    auto* s = new TraceStore();
+    s->epoch_unix_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    return s;
+  }();
   return *t;
 }
 
 /// Innermost open span on this thread; new spans nest under it. Spans
-/// opened on other threads without an ancestor become root-level.
+/// opened on other threads without an ancestor (and without a SpanContext)
+/// become root-level.
 thread_local std::int64_t t_current_parent = -1;
+
+/// Trace-local id of this thread; -1 until the thread first records a span
+/// or registers a name.
+thread_local std::int64_t t_tid = -1;
+
+/// Assigns this thread's tid on first use. Caller must hold store().mu.
+std::int64_t thread_tid_locked(TraceStore& t) {
+  if (t_tid < 0) {
+    t_tid = t.next_tid++;
+    t.names.emplace_back("thread-" + std::to_string(t_tid));
+  }
+  return t_tid;
+}
 
 }  // namespace
 
 ScopedSpan::ScopedSpan(const std::string& name) {
   if (!enabled()) return;
+  static Counter& c_dropped = counter("obs.trace_spans_dropped");
   TraceStore& t = store();
   std::lock_guard<std::mutex> lock(t.mu);
+  if (t.spans.size() >= t.capacity) {
+    ++t.dropped;
+    c_dropped.add();
+    return;  // id_ stays -1: this span records nothing
+  }
   id_ = static_cast<std::int64_t>(t.spans.size());
   SpanRecord rec;
   rec.name = name;
   rec.id = id_;
   rec.parent = t_current_parent;
+  rec.tid = thread_tid_locked(t);
   rec.start_ms = t.epoch.millis();
+  rec.start_unix_us =
+      t.epoch_unix_us + static_cast<std::int64_t>(rec.start_ms * 1e3);
   t.spans.push_back(std::move(rec));
   t_current_parent = id_;
 }
@@ -72,18 +110,65 @@ void ScopedSpan::add(const std::string& key, double value) {
   rec.counters.emplace_back(key, value);
 }
 
+std::int64_t current_span_id() { return t_current_parent; }
+
+SpanContext::SpanContext(std::int64_t parent_id) : saved_(t_current_parent) {
+  t_current_parent = parent_id;
+}
+
+SpanContext::~SpanContext() { t_current_parent = saved_; }
+
+void set_thread_name(const std::string& name) {
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  const std::int64_t tid = thread_tid_locked(t);
+  t.names[static_cast<std::size_t>(tid)] = name;
+}
+
+std::vector<ThreadName> thread_names() {
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::vector<ThreadName> out;
+  out.reserve(t.names.size());
+  for (std::size_t i = 0; i < t.names.size(); ++i)
+    out.push_back({static_cast<std::int64_t>(i), t.names[i]});
+  return out;
+}
+
+std::int64_t trace_epoch_unix_us() {
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.epoch_unix_us;
+}
+
 std::vector<SpanRecord> trace_snapshot() {
   TraceStore& t = store();
   std::lock_guard<std::mutex> lock(t.mu);
   return t.spans;
 }
 
+void set_trace_capacity(std::size_t max_spans) {
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.capacity = max_spans;
+}
+
+std::int64_t trace_spans_dropped() {
+  TraceStore& t = store();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.dropped;
+}
+
 void clear_trace() {
   TraceStore& t = store();
   std::lock_guard<std::mutex> lock(t.mu);
   t.spans.clear();
+  t.dropped = 0;
   t_current_parent = -1;
   t.epoch.reset();
+  t.epoch_unix_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
 }
 
 }  // namespace gnndse::obs

@@ -1,13 +1,22 @@
 // Hierarchical trace spans: ScopedSpan opens a span on construction and
 // closes it on destruction, nesting under the innermost span still open on
 // the same thread. Finished spans carry wall-clock (start offset + duration,
-// via util::Timer) and any counters attached with add(); the exporter
-// flattens the records into a span tree.
+// via util::Timer), the recording thread's id, an absolute begin timestamp,
+// and any counters attached with add(); the report exporter flattens the
+// records into a span tree and the Chrome-trace exporter
+// (obs/chrome_trace.hpp) renders them as a per-thread timeline.
 //
 // A ScopedSpan always runs its Timer (one clock read at construction), so
 // callers can use seconds() for time limits whether or not telemetry is
 // recording — folding the old bare util::Timer call sites into the span API.
 // Recording itself happens only when obs::enabled().
+//
+// Cross-thread nesting: spans opened on a thread with no open ancestor are
+// root-level by default. Work handed to another thread (the global thread
+// pool) adopts the submitting thread's innermost span by wrapping the task
+// in a SpanContext built from current_span_id() — util::parallel_for does
+// this for every chunk, so pool-side spans nest under their logical parent
+// instead of becoming orphans.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +33,11 @@ struct SpanRecord {
   std::string name;
   std::int64_t id = -1;
   std::int64_t parent = -1;  // -1 = root level
+  std::int64_t tid = 0;      // trace-local thread id (see thread_names())
   double start_ms = 0.0;     // offset from the trace epoch
+  /// Absolute begin timestamp (microseconds since the Unix epoch), for
+  /// exporters that need wall-clock alignment across processes.
+  std::int64_t start_unix_us = 0;
   double duration_ms = 0.0;
   bool open = true;
   std::vector<std::pair<std::string, double>> counters;
@@ -49,9 +62,53 @@ class ScopedSpan {
   std::int64_t id_ = -1;  // -1 when telemetry was disabled at construction
 };
 
+/// Innermost open span id on the calling thread (-1 when none). Capture it
+/// before handing work to another thread and wrap the remote execution in
+/// a SpanContext so spans opened there nest under the logical parent.
+std::int64_t current_span_id();
+
+/// RAII adoption of another thread's span as this thread's parent: spans
+/// opened while the context is alive become children of `parent_id`. The
+/// previous parent is restored on destruction. Cheap (two thread-local
+/// writes) and safe to use whether or not telemetry is enabled.
+class SpanContext {
+ public:
+  explicit SpanContext(std::int64_t parent_id);
+  ~SpanContext();
+  SpanContext(const SpanContext&) = delete;
+  SpanContext& operator=(const SpanContext&) = delete;
+
+ private:
+  std::int64_t saved_;
+};
+
+/// Registers a human-readable name for the calling thread ("main",
+/// "pool-worker-3"). Names are recorded regardless of obs::enabled() —
+/// registration is bounded by the thread count — and surface as Chrome
+/// trace thread_name metadata. Unnamed threads default to "thread-<tid>".
+void set_thread_name(const std::string& name);
+
+struct ThreadName {
+  std::int64_t tid;
+  std::string name;
+};
+/// Every thread the trace layer has seen (named or spanned), by tid.
+std::vector<ThreadName> thread_names();
+
+/// Microseconds since the Unix epoch at trace time zero (the first touch
+/// of the trace store). span.start_unix_us == this + span.start_ms * 1000.
+std::int64_t trace_epoch_unix_us();
+
 /// Snapshot of all recorded spans, in creation (start) order. Ids are
 /// indices into the returned vector.
 std::vector<SpanRecord> trace_snapshot();
+
+/// Caps the number of recorded spans so unbounded runs (long sweeps,
+/// serving daemons) cannot grow the trace without limit; spans beyond the
+/// cap are dropped and counted in the `obs.trace_spans_dropped` counter.
+/// Testing hook — the default (131072) is plenty for every pipeline run.
+void set_trace_capacity(std::size_t max_spans);
+std::int64_t trace_spans_dropped();
 
 /// Drops every recorded span (testing hook; reset_all() calls this too).
 void clear_trace();

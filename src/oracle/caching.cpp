@@ -7,6 +7,7 @@
 
 #include "db/database.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "oracle/fault.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -93,9 +94,13 @@ hlssim::HlsResult CachingEvaluator::evaluate(const kir::Kernel& k,
 
   std::string key = cache_key(k, cfg);
   {
+    // Span covers only the probe — a hit returns from inside it, so trace
+    // rows show lookup time separately from the inner evaluate on a miss.
+    obs::ScopedSpan span("oracle.lookup");
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
+      span.add("hit", 1.0);
       obs::add(c_hits);
       return it->second;
     }

@@ -1,5 +1,6 @@
 #include "oracle/evaluator.hpp"
 
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace gnndse::oracle {
@@ -87,6 +88,8 @@ std::string digest_key(const kir::Kernel& k) {
 
 std::vector<hlssim::HlsResult> Evaluator::evaluate_batch(
     const kir::Kernel& k, const std::vector<hlssim::DesignConfig>& cfgs) {
+  obs::ScopedSpan span("oracle.evaluate_batch");
+  span.add("configs", static_cast<double>(cfgs.size()));
   std::vector<hlssim::HlsResult> results(cfgs.size());
   // Each index fills its own slot, so the batch is bit-identical to the
   // serial loop at every pool size (see src/util/parallel.hpp).
@@ -97,6 +100,12 @@ std::vector<hlssim::HlsResult> Evaluator::evaluate_batch(
                              k, cfgs[static_cast<std::size_t>(i)]);
                      });
   return results;
+}
+
+hlssim::HlsResult SimEvaluator::evaluate(const kir::Kernel& k,
+                                         const hlssim::DesignConfig& cfg) {
+  obs::ScopedSpan span("oracle.sim");
+  return hls_.evaluate(k, cfg);
 }
 
 }  // namespace gnndse::oracle

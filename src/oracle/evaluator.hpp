@@ -61,15 +61,15 @@ class Evaluator {
       const kir::Kernel& k, const std::vector<hlssim::DesignConfig>& cfgs);
 };
 
-/// The bottom of every stack: the Merlin-like analytic simulator.
+/// The bottom of every stack: the Merlin-like analytic simulator. Each
+/// call records an `oracle.sim` span, so traces separate real tool time
+/// from cache lookups and retry backoff.
 class SimEvaluator final : public Evaluator {
  public:
   explicit SimEvaluator(hlssim::FpgaResources device = {}) : hls_(device) {}
 
   hlssim::HlsResult evaluate(const kir::Kernel& k,
-                             const hlssim::DesignConfig& cfg) override {
-    return hls_.evaluate(k, cfg);
-  }
+                             const hlssim::DesignConfig& cfg) override;
 
   const hlssim::MerlinHls& hls() const { return hls_; }
 

@@ -1,6 +1,7 @@
 #include "oracle/fault.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gnndse::oracle {
 namespace {
@@ -81,8 +82,14 @@ hlssim::HlsResult RetryingEvaluator::evaluate(const kir::Kernel& k,
       return r;
     }
     obs::add(c_retries);
-    wasted_seconds += r.synth_seconds +
-                      kBackoffBaseSeconds * static_cast<double>(1 << attempt);
+    const double backoff =
+        kBackoffBaseSeconds * static_cast<double>(1 << attempt);
+    // The backoff is synthetic (accounted, not slept); the span marks where
+    // each retry decision landed in the timeline.
+    obs::ScopedSpan span("oracle.retry_backoff");
+    span.add("attempt", static_cast<double>(attempt + 1));
+    span.add("backoff_seconds", backoff);
+    wasted_seconds += r.synth_seconds + backoff;
   }
 }
 

@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -10,7 +11,9 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
+#include "util/timer.hpp"
 
 namespace gnndse::util {
 namespace {
@@ -21,10 +24,19 @@ thread_local bool t_in_parallel = false;
 
 class Pool {
  public:
-  explicit Pool(int lanes) : lanes_(lanes) {
+  explicit Pool(int lanes)
+      : lanes_(lanes),
+        // Resolve the pool's telemetry handles up front so the metrics exist
+        // in every report (and in check_report.py's defaults) even on runs
+        // where submit() is never reached — e.g. single-lane pools.
+        g_queue_depth_(obs::gauge("parallel.queue_depth")),
+        g_utilization_(obs::gauge("parallel.worker_utilization")),
+        h_task_ms_(obs::histogram("parallel.task_ms")) {
+    obs::set(g_queue_depth_, 0.0);
+    obs::set(g_utilization_, 0.0);
     workers_.reserve(static_cast<std::size_t>(lanes - 1));
     for (int i = 0; i < lanes - 1; ++i)
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 
   ~Pool() {
@@ -42,12 +54,16 @@ class Pool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.push_back(std::move(task));
+      obs::set(g_queue_depth_, static_cast<double>(queue_.size()));
     }
     cv_.notify_one();
   }
 
  private:
-  void worker_loop() {
+  void worker_loop(int index) {
+    // Worker rows in the Chrome trace are named after their pool index;
+    // "pool-worker-1" is the first spawned thread (the caller is lane 0).
+    obs::set_thread_name("pool-worker-" + std::to_string(index));
     for (;;) {
       std::function<void()> task;
       {
@@ -56,12 +72,29 @@ class Pool {
         if (queue_.empty()) return;  // stop_ set and queue drained
         task = std::move(queue_.front());
         queue_.pop_front();
+        obs::set(g_queue_depth_, static_cast<double>(queue_.size()));
       }
+      // Busy-worker fraction over the size-1 pool threads (the caller's
+      // inline chunk is not counted: it is always busy during a fan-out).
+      const int busy = busy_.fetch_add(1, std::memory_order_relaxed) + 1;
+      obs::set(g_utilization_,
+               static_cast<double>(busy) /
+                   static_cast<double>(std::max(1, lanes_ - 1)));
+      Timer t;
       task();
+      obs::observe(h_task_ms_, t.millis());
+      const int left = busy_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      obs::set(g_utilization_,
+               static_cast<double>(left) /
+                   static_cast<double>(std::max(1, lanes_ - 1)));
     }
   }
 
   const int lanes_;
+  obs::Gauge& g_queue_depth_;
+  obs::Gauge& g_utilization_;
+  obs::Histogram& h_task_ms_;
+  std::atomic<int> busy_{0};
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
@@ -146,12 +179,17 @@ void parallel_for(std::int64_t n, std::int64_t grain, const ChunkFn& body) {
   } job;
   const std::int64_t base = n / chunks;
   const std::int64_t rem = n % chunks;
+  // Capture the submitting thread's innermost span so chunk-side spans nest
+  // under the logical parent instead of becoming root-level orphans on the
+  // worker rows.
+  const std::int64_t parent_span = obs::current_span_id();
   auto run_chunk = [&](int c) {
     const std::int64_t begin =
         c * base + std::min<std::int64_t>(c, rem);
     const std::int64_t end = begin + base + (c < rem ? 1 : 0);
     t_in_parallel = true;
     try {
+      obs::SpanContext ctx(parent_span);
       body(begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(job.mu);

@@ -13,9 +13,14 @@
 // Re-entrancy: a parallel_for issued from inside a running chunk executes
 // inline on the calling thread (no nested fan-out, no deadlock).
 //
-// Telemetry (docs/performance.md): `parallel.pool_size` gauge,
-// `parallel.tasks` histogram (chunks per fan-out), and the
-// `parallel.invocations` / `parallel.inline_runs` counters.
+// Telemetry (docs/performance.md): `parallel.pool_size` /
+// `parallel.queue_depth` / `parallel.worker_utilization` gauges, the
+// `parallel.tasks` (chunks per fan-out) and `parallel.task_ms` (per-task
+// worker latency) histograms, and the `parallel.invocations` /
+// `parallel.inline_runs` counters. Worker threads register as
+// "pool-worker-N" in the trace layer, and each chunk adopts the submitting
+// thread's open span (obs::SpanContext) so pool-side spans nest under
+// their logical parent in reports and Chrome traces.
 #pragma once
 
 #include <cstdint>

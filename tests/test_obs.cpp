@@ -3,8 +3,11 @@
 // report, thread-safety of the registry, and the zero-cost-disabled gate.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <stdexcept>
@@ -12,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -366,7 +371,7 @@ TEST_F(ObsTest, ReportJsonRoundTrips) {
   const std::string json = obs::report_json("test_obs", 1.25);
   Json doc = JsonParser(json).parse();
 
-  EXPECT_EQ(doc.at("schema_version").num, 1.0);
+  EXPECT_EQ(doc.at("schema_version").num, 2.0);
   EXPECT_EQ(doc.at("tool").str, "test_obs");
   EXPECT_DOUBLE_EQ(doc.at("elapsed_seconds").num, 1.25);
   EXPECT_EQ(doc.at("counters").at("rt.counter").num, 42.0);
@@ -385,9 +390,12 @@ TEST_F(ObsTest, ReportJsonRoundTrips) {
   ASSERT_EQ(doc.at("spans").arr.size(), 1u);
   const Json& root = doc.at("spans").arr[0];
   EXPECT_EQ(root.at("name").str, "pipeline");
+  // v2: every span names the thread that recorded it.
+  EXPECT_GE(root.at("tid").num, 0.0);
   ASSERT_EQ(root.at("children").arr.size(), 1u);
   const Json& child = root.at("children").arr[0];
   EXPECT_EQ(child.at("name").str, "train");
+  EXPECT_GE(child.at("tid").num, 0.0);
   EXPECT_DOUBLE_EQ(child.at("counters").at("epochs").num, 3.0);
   EXPECT_TRUE(child.at("children").arr.empty());
   EXPECT_GE(child.at("duration_ms").num, 0.0);
@@ -433,6 +441,221 @@ TEST_F(ObsTest, InactiveReportSessionDoesNothing) {
     EXPECT_FALSE(obs::enabled());
     EXPECT_TRUE(obs::trace_snapshot().empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread span context and thread identity.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SpanContextAdoptsAndRestoresParent) {
+  EXPECT_EQ(obs::current_span_id(), -1);
+  obs::ScopedSpan outer("outer");
+  const std::int64_t outer_id = obs::current_span_id();
+  ASSERT_GE(outer_id, 0);
+  {
+    obs::SpanContext ctx(-1);  // detach: next span is root-level
+    EXPECT_EQ(obs::current_span_id(), -1);
+    obs::ScopedSpan detached("detached");
+  }
+  EXPECT_EQ(obs::current_span_id(), outer_id);  // restored
+  auto spans = obs::trace_snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].name, "detached");
+  EXPECT_EQ(spans[1].parent, -1);
+}
+
+TEST_F(ObsTest, SpanContextParentsSpansAcrossThreads) {
+  std::int64_t outer_id = -1;
+  {
+    obs::ScopedSpan outer("outer");
+    outer_id = obs::current_span_id();
+    std::thread worker([outer_id] {
+      obs::SpanContext ctx(outer_id);
+      obs::ScopedSpan child("remote_child");
+    });
+    worker.join();
+  }
+  auto spans = obs::trace_snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].name, "remote_child");
+  EXPECT_EQ(spans[1].parent, outer_id);
+  EXPECT_NE(spans[1].tid, spans[0].tid);
+}
+
+TEST_F(ObsTest, SpanCapacityDropsExcessAndCounts) {
+  obs::set_trace_capacity(2);
+  { obs::ScopedSpan a("a"); }
+  { obs::ScopedSpan b("b"); }
+  { obs::ScopedSpan c("c"); }  // beyond capacity: dropped, not recorded
+  EXPECT_EQ(obs::trace_snapshot().size(), 2u);
+  EXPECT_EQ(obs::trace_spans_dropped(), 1);
+  obs::clear_trace();
+  EXPECT_EQ(obs::trace_spans_dropped(), 0);
+  obs::set_trace_capacity(131072);  // restore the default for later tests
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceExportsValidEventsWithThreadNames) {
+  obs::set_thread_name("main");
+  {
+    obs::ScopedSpan outer("outer");
+    outer.add("items", 7.0);
+    obs::ScopedSpan inner("inner");
+  }
+  std::thread t([] {
+    obs::set_thread_name("helper");
+    obs::ScopedSpan span("helper_work");
+  });
+  t.join();
+
+  const std::string json = obs::chrome_trace_json("test_obs");
+  Json doc = JsonParser(json).parse();
+  EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+  const double epoch = doc.at("otherData").at("trace_epoch_unix_us").num;
+  EXPECT_GT(epoch, 0.0);
+
+  int n_process = 0, n_complete = 0;
+  bool saw_main = false, saw_helper = false, saw_helper_event = false;
+  std::int64_t helper_tid = -1;
+  for (const Json& ev : doc.at("traceEvents").arr) {
+    const std::string& ph = ev.at("ph").str;
+    if (ph == "M") {
+      if (ev.at("name").str == "process_name") {
+        ++n_process;
+        EXPECT_EQ(ev.at("args").at("name").str, "test_obs");
+      } else if (ev.at("name").str == "thread_name") {
+        const std::string& name = ev.at("args").at("name").str;
+        if (name == "main") saw_main = true;
+        if (name == "helper") {
+          saw_helper = true;
+          helper_tid = static_cast<std::int64_t>(ev.at("tid").num);
+        }
+      }
+    } else {
+      ++n_complete;
+      EXPECT_EQ(ph, "X");
+      EXPECT_GE(ev.at("ts").num, epoch);  // absolute microseconds
+      EXPECT_GE(ev.at("dur").num, 0.0);
+      if (ev.at("name").str == "helper_work") {
+        saw_helper_event = true;
+        EXPECT_EQ(static_cast<std::int64_t>(ev.at("tid").num), helper_tid);
+      }
+      if (ev.at("name").str == "outer") {
+        EXPECT_DOUBLE_EQ(ev.at("args").at("items").num, 7.0);
+      }
+    }
+  }
+  EXPECT_EQ(n_process, 1);
+  EXPECT_EQ(n_complete, 3);
+  EXPECT_TRUE(saw_main);
+  EXPECT_TRUE(saw_helper);
+  EXPECT_TRUE(saw_helper_event);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat sampler.
+// ---------------------------------------------------------------------------
+
+std::vector<Json> read_heartbeat(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<Json> samples;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) samples.push_back(JsonParser(line).parse());
+  return samples;
+}
+
+TEST_F(ObsTest, HeartbeatWritesMonotonicSamples) {
+  const std::string path = ::testing::TempDir() + "/obs_heartbeat_mono.ndjson";
+  std::remove(path.c_str());
+  obs::add(obs::counter("hb.work"), 1);
+  {
+    obs::HeartbeatSampler sampler(path, 20.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    obs::add(obs::counter("hb.work"), 5);
+    sampler.stop();
+    EXPECT_GE(sampler.samples_written(), 2);
+    sampler.stop();  // idempotent
+  }
+  auto samples = read_heartbeat(path);
+  ASSERT_GE(samples.size(), 2u);
+  double prev_elapsed = -1.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Json& s = samples[i];
+    EXPECT_EQ(s.at("schema").str, "gnndse.heartbeat.v1");
+    EXPECT_EQ(s.at("seq").num, static_cast<double>(i));
+    EXPECT_GT(s.at("elapsed_ms").num, prev_elapsed);
+    prev_elapsed = s.at("elapsed_ms").num;
+    EXPECT_TRUE(s.at("rates").has("oracle.hit_ratio"));
+  }
+  // The final (stop-time) sample sees the post-start counter bumps.
+  EXPECT_EQ(samples.back().at("counters").at("hb.work").num, 6.0);
+}
+
+TEST_F(ObsTest, HeartbeatSubIntervalRunStillEmitsTwoSamples) {
+  const std::string path = ::testing::TempDir() + "/obs_heartbeat_short.ndjson";
+  std::remove(path.c_str());
+  {
+    // Interval far longer than the sampler's lifetime: the immediate
+    // first sample plus the final stop-time sample must still land.
+    obs::HeartbeatSampler sampler(path, 60'000.0);
+  }
+  EXPECT_EQ(read_heartbeat(path).size(), 2u);
+}
+
+TEST_F(ObsTest, HeartbeatStartStopRacesCleanlyWithMetricWrites) {
+  const std::string path = ::testing::TempDir() + "/obs_heartbeat_race.ndjson";
+  std::remove(path.c_str());
+  obs::Counter& c = obs::counter("hb.race_counter");
+  obs::Histogram& h = obs::histogram("hb.race_hist");
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      obs::add(c);
+      obs::observe(h, 1.0);
+    }
+  });
+  {
+    obs::HeartbeatSampler sampler(path, 10.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }  // destructor stops mid-hammer
+  done.store(true, std::memory_order_relaxed);
+  writer.join();
+  auto samples = read_heartbeat(path);
+  ASSERT_GE(samples.size(), 2u);
+  // Counters are monotonic across samples even under concurrent writes.
+  double prev = -1.0;
+  for (const Json& s : samples) {
+    const double v = s.at("counters").at("hb.race_counter").num;
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(ObsTest, HistogramObserveRacesSnapshotCleanly) {
+  obs::Histogram& h = obs::histogram("race.hist");
+  constexpr int kPerThread = 20'000;
+  auto hammer = [&h] {
+    for (int i = 0; i < kPerThread; ++i)
+      h.observe(static_cast<double>(i % 100));
+  };
+  std::thread a(hammer), b(hammer);
+  // Snapshot concurrently with the writers: totals may lag but must never
+  // tear (every snapshot internally consistent, counts non-decreasing).
+  std::int64_t prev_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& snap : obs::histograms_snapshot()) {
+      if (snap.name != "race.hist") continue;
+      EXPECT_GE(snap.count, prev_count);
+      prev_count = snap.count;
+    }
+  }
+  a.join();
+  b.join();
+  EXPECT_EQ(h.count(), 2 * kPerThread);
 }
 
 }  // namespace

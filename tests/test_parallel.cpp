@@ -14,6 +14,8 @@
 
 #include "dspace/design_space.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "model/dataset.hpp"
 #include "model/predictive_model.hpp"
 #include "model/trainer.hpp"
@@ -134,6 +136,44 @@ TEST_F(ParallelFor, PropagatesFirstExceptionAndPoolSurvives) {
     for (std::int64_t i = b; i < e; ++i) sum += i;
   });
   EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST_F(ParallelFor, ChunkSpansNestUnderSubmittersOpenSpan) {
+  set_parallel_threads(4);
+  obs::reset_all();
+  obs::set_enabled(true);
+  std::int64_t outer_id = -1;
+  {
+    obs::ScopedSpan outer("outer");
+    outer_id = obs::current_span_id();
+    parallel_for(64, 1, [](std::int64_t, std::int64_t) {
+      obs::ScopedSpan chunk("chunk");
+    });
+  }
+  int chunk_spans = 0;
+  for (const auto& s : obs::trace_snapshot()) {
+    if (s.name != "chunk") continue;
+    ++chunk_spans;
+    // Pool-side chunks adopt the submitting thread's span instead of
+    // becoming root-level orphans on the worker rows.
+    EXPECT_EQ(s.parent, outer_id);
+  }
+  EXPECT_EQ(chunk_spans, 4);  // 4 lanes over 64 unit-grain items
+  obs::set_enabled(false);
+  obs::reset_all();
+}
+
+TEST_F(ParallelFor, PoolRegistersQueueTelemetryAtConstruction) {
+  // Even a single-lane pool (which never reaches submit()) must register
+  // its gauges so report validation holds on one-core machines.
+  set_parallel_threads(1);
+  bool has_depth = false, has_util = false;
+  for (const auto& g : obs::gauges_snapshot()) {
+    if (g.name == "parallel.queue_depth") has_depth = true;
+    if (g.name == "parallel.worker_utilization") has_util = true;
+  }
+  EXPECT_TRUE(has_depth);
+  EXPECT_TRUE(has_util);
 }
 
 // ---------------------------------------------------------------------------
