@@ -57,6 +57,9 @@ DEFAULT_COUNTERS = [
 DEFAULT_GAUGES = [
     "parallel.pool_size",
     "parallel.queue_depth",
+    # Published by the SIMD dispatch layer (src/util/cpu.cpp) as soon as the
+    # level resolves — any run that executed a dispatched kernel has it.
+    "tensor.simd_level",
 ]
 
 HISTOGRAM_KEYS = ("count", "sum_ms", "min_ms", "max_ms", "p50_ms", "p95_ms",

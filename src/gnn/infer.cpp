@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "gnn/infer_simd.hpp"
+#include "obs/simd_counters.hpp"
 #include "util/parallel.hpp"
 
 namespace gnndse::gnn {
@@ -172,13 +174,12 @@ const Tensor& InferenceSession::row_sum(const Tensor& a) {
   const float* ap = a.data();
   float* op = out.data();
   // Ascending-j accumulation per row, as in Tape::row_sum; rows are
-  // independent so the fan-out never reorders additions.
+  // independent so neither the fan-out nor the vector lanes reorder
+  // additions.
+  static obs::SimdDispatch dispatch("row_sum");
+  const util::SimdLevel lvl = dispatch.level();
   util::parallel_for(r, row_grain(c), [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t i = begin; i < end; ++i) {
-      float acc = 0.0f;
-      for (std::int64_t j = 0; j < c; ++j) acc += ap[i * c + j];
-      op[i] = acc;
-    }
+    simd::row_sum_range(lvl, ap, c, op, begin, end);
   });
   return out;
 }
@@ -210,17 +211,11 @@ const Tensor& InferenceSession::residual_concat(const Tensor& r,
   const float* rp = r.data();
   const float* mp = m.data();
   float* op = out.data();
+  static obs::SimdDispatch dispatch("residual_concat");
+  const util::SimdLevel lvl = dispatch.level();
   util::parallel_for(
       n, row_grain(3 * c), [&](std::int64_t begin, std::int64_t end) {
-        for (std::int64_t i = begin; i < end; ++i) {
-          float* orow = op + i * 3 * c;
-          for (std::int64_t j = 0; j < c; ++j) {
-            const float rv = rp[i * c + j], mv = mp[i * c + j];
-            orow[j] = rv;
-            orow[c + j] = mv;
-            orow[2 * c + j] = rv - mv;
-          }
-        }
+        simd::residual_concat_range(lvl, rp, mp, op, c, begin, end);
       });
   return out;
 }
@@ -237,12 +232,10 @@ const Tensor& InferenceSession::gated_mix(const Tensor& m, const Tensor& beta,
   const float* mp = m.data();
   const float* dp = cat.data() + 2 * c;  // difference block, row stride 3c
   float* op = out.data();
+  static obs::SimdDispatch dispatch("gated_mix");
+  const util::SimdLevel lvl = dispatch.level();
   util::parallel_for(r, row_grain(c), [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t i = begin; i < end; ++i) {
-      const float s = bp[i];
-      for (std::int64_t j = 0; j < c; ++j)
-        op[i * c + j] = mp[i * c + j] + s * dp[i * 3 * c + j];
-    }
+    simd::gated_mix_range(lvl, mp, bp, dp, op, c, begin, end);
   });
   return out;
 }
@@ -392,11 +385,15 @@ const Tensor& InferenceSession::segment_softmax(
     out.at(i, 0) = v;
     seg_sum[s] += v;
   }
-  for (std::int64_t i = 0; i < e; ++i) {
-    const float denom =
-        seg_sum[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])];
-    out.at(i, 0) = denom > 0 ? out.at(i, 0) / denom : 0.0f;
-  }
+  // The max and exp/seg_sum passes above stay scalar: seg_sum's
+  // accumulation order is part of the bit-identity contract and vector
+  // exp approximations don't reproduce std::exp bits (see
+  // docs/performance.md). The normalize pass is elementwise over
+  // independent edges, so it dispatches.
+  static obs::SimdDispatch dispatch("segment_softmax");
+  const util::SimdLevel lvl = dispatch.level();
+  simd::segment_softmax_normalize(lvl, seg_sum.data(), seg.data(), out.data(),
+                                  0, e);
   return out;
 }
 
@@ -443,18 +440,11 @@ const Tensor& InferenceSession::edge_attention_scores(
   const float* ep = ek.data();
   float* op = out.data();
   // Disjoint per-edge writes; ascending-d accumulation matches row_sum.
+  static obs::SimdDispatch dispatch("edge_attention_scores");
+  const util::SimdLevel lvl = dispatch.level();
   util::parallel_for(e, row_grain(d), [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t i = begin; i < end; ++i) {
-      const float* qrow =
-          qp + static_cast<std::int64_t>(dst[static_cast<std::size_t>(i)]) * d;
-      const float* krow =
-          kp + static_cast<std::int64_t>(src[static_cast<std::size_t>(i)]) * d;
-      const float* erow = ep + i * d;
-      float acc = 0.0f;
-      for (std::int64_t j = 0; j < d; ++j)
-        acc += qrow[j] * (krow[j] + erow[j]);
-      op[i] = acc * c;
-    }
+    simd::edge_attention_scores_range(lvl, qp, kp, ep, src.data(), dst.data(),
+                                      d, c, op, begin, end);
   });
   return out;
 }
@@ -470,12 +460,11 @@ const Tensor& InferenceSession::edge_pair_scores(
   const float* bp = b.data();
   const float s = negative_slope;
   float* op = out.data();
+  static obs::SimdDispatch dispatch("edge_pair_scores");
+  const util::SimdLevel lvl = dispatch.level();
   util::parallel_for(e, kElemGrain, [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t i = begin; i < end; ++i) {
-      const float x = ap[src[static_cast<std::size_t>(i)]] +
-                      bp[dst[static_cast<std::size_t>(i)]];
-      op[i] = x > 0 ? x : s * x;
-    }
+    simd::edge_pair_scores_range(lvl, ap, bp, src.data(), dst.data(), s, op,
+                                 begin, end);
   });
   return out;
 }
@@ -492,19 +481,14 @@ const Tensor& InferenceSession::weighted_scatter_add(
   const float* vp = v.data();
   const float* ep = ev ? ev->data() : nullptr;
   float* op = out.data();
-  // Serial on purpose: colliding destinations accumulate in ascending edge
-  // order, which defines the result bits (same as scatter_add_rows).
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const float s = alpha[i];
-    const float* vrow = vp + static_cast<std::int64_t>(src[i]) * c;
-    float* drow = op + static_cast<std::int64_t>(dst[i]) * c;
-    if (ep) {
-      const float* erow = ep + static_cast<std::int64_t>(i) * c;
-      for (std::int64_t j = 0; j < c; ++j) drow[j] += s * (vrow[j] + erow[j]);
-    } else {
-      for (std::int64_t j = 0; j < c; ++j) drow[j] += s * vrow[j];
-    }
-  }
+  // Serial over edges on purpose: colliding destinations accumulate in
+  // ascending edge order, which defines the result bits (same as
+  // scatter_add_rows). Only the per-edge column sweep vectorizes.
+  static obs::SimdDispatch dispatch("weighted_scatter_add");
+  const util::SimdLevel lvl = dispatch.level();
+  simd::weighted_scatter_add_edges(lvl, alpha, vp, ep, src.data(), dst.data(),
+                                   c, op,
+                                   static_cast<std::int64_t>(src.size()));
   return out;
 }
 

@@ -6,46 +6,118 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "oracle/evaluator.hpp"
+#include "util/env.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace gnndse::model {
 
-SampleFactory::GraphTemplate& SampleFactory::cache_for(
+namespace {
+/// Default GraphTemplate budget: generous enough that the benchmark
+/// suite's templates (a few hundred KB each) never evict in practice —
+/// the cap exists for long-lived services fed open-ended kernel streams.
+constexpr std::int64_t kDefaultTemplateBudget = 256ll << 20;
+}  // namespace
+
+SampleFactory::SampleFactory()
+    : SampleFactory(
+          util::env_int64("GNNDSE_TEMPLATE_BUDGET", kDefaultTemplateBudget)) {}
+
+SampleFactory::SampleFactory(std::int64_t template_budget_bytes)
+    : template_budget_bytes_(template_budget_bytes) {}
+
+std::size_t SampleFactory::GraphTemplate::approx_bytes() const {
+  std::size_t b = sizeof(GraphTemplate);
+  b += static_cast<std::size_t>(edge_feats.numel() + base_x.numel()) *
+       sizeof(float);
+  b += (src.capacity() + dst.capacity()) * sizeof(std::int32_t);
+  b += graph.nodes.capacity() * sizeof(graphgen::GraphNode);
+  b += graph.edges.capacity() * sizeof(graphgen::GraphEdge);
+  b += (graph.pragma_nodes.capacity() + graph.loop_icmp_nodes.capacity()) *
+       sizeof(std::int32_t);
+  if (space) b += sizeof(dspace::DesignSpace);
+  return b;
+}
+
+void SampleFactory::enforce_budget_locked() {
+  static obs::Counter& c_evict = obs::counter("gnn.template_evictions");
+  if (template_budget_bytes_ > 0) {
+    // Never evict the MRU front: it is the template the caller is about to
+    // use (and the one pinned by the returned shared_ptr).
+    while (cache_bytes_ > static_cast<std::size_t>(template_budget_bytes_) &&
+           lru_.size() > 1) {
+      auto it = cache_.find(lru_.back());
+      cache_bytes_ -= it->second.bytes;
+      cache_.erase(it);
+      lru_.pop_back();
+      obs::add(c_evict);
+    }
+  }
+  obs::gauge("gnn.template_bytes").set(static_cast<double>(cache_bytes_));
+}
+
+std::shared_ptr<const SampleFactory::GraphTemplate> SampleFactory::cache_for(
     const kir::Kernel& kernel) {
   static obs::Counter& c_hits = obs::counter("gnn.template_hits");
   static obs::Counter& c_misses = obs::counter("gnn.template_misses");
   const std::uint64_t digest = oracle::kernel_digest(kernel);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(kernel.name);
+    if (it != cache_.end() && it->second.tpl->digest == digest) {
+      obs::add(c_hits);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.tpl;
+    }
+  }
+  // Build outside the lock: lowering a kernel is the expensive part, and
+  // entries are immutable once built, so the worst case of two threads
+  // racing on the same cold kernel is one discarded duplicate build.
+  obs::add(c_misses);
+  auto kc = std::make_shared<GraphTemplate>();
+  kc->digest = digest;
+  kc->space = std::make_unique<dspace::DesignSpace>(kernel);
+  kc->graph = graphgen::build_graph(kernel, *kc->space);
+  kc->edge_feats = graphgen::edge_features(kc->graph);
+  kc->src.reserve(kc->graph.edges.size());
+  kc->dst.reserve(kc->graph.edges.size());
+  for (const auto& e : kc->graph.edges) {
+    kc->src.push_back(e.src);
+    kc->dst.push_back(e.dst);
+  }
+  kc->base_x = graphgen::static_node_features(kc->graph, *kc->space);
+
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(kernel.name);
-  if (it != cache_.end() && it->second.digest == digest) {
-    obs::add(c_hits);
-    return it->second;
+  if (it != cache_.end()) {
+    if (it->second.tpl->digest == digest) {
+      // Another thread built it first; use theirs (keeps entries unique).
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.tpl;
+    }
+    // Kernel edited in place: drop the stale template.
+    cache_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    cache_.erase(it);
   }
-  obs::add(c_misses);
-  if (it != cache_.end()) cache_.erase(it);  // kernel edited: stale template
-
-  GraphTemplate kc;
-  kc.digest = digest;
-  kc.space = std::make_unique<dspace::DesignSpace>(kernel);
-  kc.graph = graphgen::build_graph(kernel, *kc.space);
-  kc.edge_feats = graphgen::edge_features(kc.graph);
-  kc.src.reserve(kc.graph.edges.size());
-  kc.dst.reserve(kc.graph.edges.size());
-  for (const auto& e : kc.graph.edges) {
-    kc.src.push_back(e.src);
-    kc.dst.push_back(e.dst);
-  }
-  kc.base_x = graphgen::static_node_features(kc.graph, *kc.space);
-  return cache_.emplace(kernel.name, std::move(kc)).first->second;
+  TemplateEntry entry;
+  entry.tpl = std::move(kc);
+  entry.bytes = entry.tpl->approx_bytes();
+  lru_.push_front(kernel.name);
+  entry.lru_it = lru_.begin();
+  cache_bytes_ += entry.bytes;
+  auto tpl = entry.tpl;
+  cache_.emplace(kernel.name, std::move(entry));
+  enforce_budget_locked();
+  return tpl;
 }
 
 const dspace::DesignSpace& SampleFactory::space(const kir::Kernel& kernel) {
-  return *cache_for(kernel).space;
+  return *cache_for(kernel)->space;
 }
 
 const graphgen::ProgramGraph& SampleFactory::graph(const kir::Kernel& kernel) {
-  return cache_for(kernel).graph;
+  return cache_for(kernel)->graph;
 }
 
 gnn::GraphData SampleFactory::featurize(const kir::Kernel& kernel,
@@ -53,16 +125,16 @@ gnn::GraphData SampleFactory::featurize(const kir::Kernel& kernel,
   static obs::Counter& c_built = obs::counter("graphgen.graphs_built");
   static obs::Histogram& h_feat = obs::histogram("graphgen.featurize_ms");
   util::Timer timer;
-  GraphTemplate& kc = cache_for(kernel);
+  const auto kc = cache_for(kernel);  // pins the template against eviction
   gnn::GraphData g;
   // Static features are a straight copy of the template; only the pragma
   // slots of this configuration get written on top.
-  g.x = kc.base_x;
-  graphgen::write_pragma_features(kc.graph, *kc.space, cfg, g.x, 0);
-  g.e = kc.edge_feats;
-  g.src = kc.src;
-  g.dst = kc.dst;
-  g.aux = graphgen::pragma_vector(*kc.space, cfg, kMaxPragmaSites);
+  g.x = kc->base_x;
+  graphgen::write_pragma_features(kc->graph, *kc->space, cfg, g.x, 0);
+  g.e = kc->edge_feats;
+  g.src = kc->src;
+  g.dst = kc->dst;
+  g.aux = graphgen::pragma_vector(*kc->space, cfg, kMaxPragmaSites);
   if (obs::enabled()) {
     c_built.add();
     h_feat.observe(timer.millis());
@@ -75,13 +147,13 @@ gnn::GraphData SampleFactory::featurize_full(const kir::Kernel& kernel,
   static obs::Counter& c_built = obs::counter("graphgen.graphs_built");
   static obs::Histogram& h_feat = obs::histogram("graphgen.featurize_ms");
   util::Timer timer;
-  GraphTemplate& kc = cache_for(kernel);
+  const auto kc = cache_for(kernel);  // pins the template against eviction
   gnn::GraphData g;
-  g.x = graphgen::node_features(kc.graph, *kc.space, cfg);
-  g.e = kc.edge_feats;
-  g.src = kc.src;
-  g.dst = kc.dst;
-  g.aux = graphgen::pragma_vector(*kc.space, cfg, kMaxPragmaSites);
+  g.x = graphgen::node_features(kc->graph, *kc->space, cfg);
+  g.e = kc->edge_feats;
+  g.src = kc->src;
+  g.dst = kc->dst;
+  g.aux = graphgen::pragma_vector(*kc->space, cfg, kMaxPragmaSites);
   if (obs::enabled()) {
     c_built.add();
     h_feat.observe(timer.millis());
@@ -97,12 +169,12 @@ const gnn::GraphBatch& SampleFactory::batch_for(
     throw std::invalid_argument("batch_for: empty config list");
   obs::ScopedSpan span("gnn.batch_assemble");
   span.add("configs", static_cast<double>(configs.size()));
-  GraphTemplate& kc = cache_for(kernel);
+  const auto kc = cache_for(kernel);  // pins the template against eviction
 
   // Skeleton lookup (MRU list, keyed by kernel + digest + batch size).
   Skeleton* skel = nullptr;
   for (auto it = skeletons_.begin(); it != skeletons_.end(); ++it) {
-    if (it->kernel == kernel.name && it->digest == kc.digest &&
+    if (it->kernel == kernel.name && it->digest == kc->digest &&
         it->batch_size == configs.size()) {
       skeletons_.splice(skeletons_.begin(), skeletons_, it);
       skel = &skeletons_.front();
@@ -117,14 +189,14 @@ const gnn::GraphBatch& SampleFactory::batch_for(
     // slots zero) — exactly what make_batch over featurized graphs
     // produces for everything except the per-config slots written below.
     gnn::GraphData proto;
-    proto.x = kc.base_x;
-    proto.e = kc.edge_feats;
-    proto.src = kc.src;
-    proto.dst = kc.dst;
+    proto.x = kc->base_x;
+    proto.e = kc->edge_feats;
+    proto.src = kc->src;
+    proto.dst = kc->dst;
     proto.aux = tensor::Tensor({static_cast<std::int64_t>(kMaxPragmaSites) *
                                 graphgen::kPragmaVectorPerSite});
     std::vector<const gnn::GraphData*> protos(configs.size(), &proto);
-    skeletons_.push_front(Skeleton{kernel.name, kc.digest, configs.size(),
+    skeletons_.push_front(Skeleton{kernel.name, kc->digest, configs.size(),
                                    gnn::make_batch(protos)});
     if (skeletons_.size() > kMaxSkeletons) skeletons_.pop_back();
     skel = &skeletons_.front();
@@ -141,9 +213,9 @@ const gnn::GraphBatch& SampleFactory::batch_for(
       [&](std::int64_t begin, std::int64_t end) {
         for (std::int64_t i = begin; i < end; ++i) {
           const auto gi = static_cast<std::size_t>(i);
-          graphgen::write_pragma_features(kc.graph, *kc.space, configs[gi],
+          graphgen::write_pragma_features(kc->graph, *kc->space, configs[gi],
                                           b.x, b.node_offset[gi]);
-          graphgen::write_pragma_vector(*kc.space, configs[gi],
+          graphgen::write_pragma_vector(*kc->space, configs[gi],
                                         kMaxPragmaSites,
                                         b.aux.data() + i * fa);
         }

@@ -43,7 +43,20 @@ struct Sample {
 ///    the static node-feature matrix with the pragma slots zeroed), built
 ///    once per kernel *digest* (oracle::kernel_digest): editing a kernel
 ///    in place invalidates and rebuilds its template.
-///    Telemetry: `gnn.template_hits` / `gnn.template_misses`.
+///    The map is byte-budgeted (GNNDSE_TEMPLATE_BUDGET, bytes; <= 0 means
+///    unlimited): when inserting a template pushes the estimated resident
+///    size past the budget, least-recently-used templates are evicted —
+///    never the just-touched MRU entry, so the kernel being worked on
+///    always stays resident. Entries are shared_ptr-held; featurize()/
+///    batch_for() pin the template they use, so a concurrent eviction can
+///    only drop the map's reference, never free a template mid-use.
+///    References returned by space()/graph() are valid while the template
+///    is resident: for the single-kernel DSE/attention loops that is the
+///    MRU guarantee; callers interleaving many kernels under a tight
+///    budget must re-fetch instead of holding them long-term.
+///    Telemetry: `gnn.template_hits` / `gnn.template_misses` /
+///    `gnn.template_evictions`, with the resident estimate in the
+///    `gnn.template_bytes` gauge.
 ///  * batch skeleton — the assembled GraphBatch for B copies of the
 ///    template graph, cached per (kernel, B) since topology (src_sl/
 ///    dst_sl/gcn_coeff/node_graph/node_offset) is identical across
@@ -58,7 +71,10 @@ struct Sample {
 /// concurrently) until the next batch_for() call on the same factory.
 class SampleFactory {
  public:
-  SampleFactory() = default;
+  /// Budget from GNNDSE_TEMPLATE_BUDGET (default 256 MiB).
+  SampleFactory();
+  /// Explicit template byte budget (testing hook; <= 0 means unlimited).
+  explicit SampleFactory(std::int64_t template_budget_bytes);
 
   /// Featurizes one (kernel, config) pair; `result` supplies the targets
   /// (pass a default HlsResult for pure-inference samples).
@@ -98,8 +114,18 @@ class SampleFactory {
     std::vector<std::int32_t> src, dst;
     /// Static node features (pragma slots zero) shared by every config.
     tensor::Tensor base_x;
+
+    /// Estimated resident bytes (tensors + index vectors + graph storage)
+    /// for the LRU budget accounting.
+    std::size_t approx_bytes() const;
   };
-  GraphTemplate& cache_for(const kir::Kernel& kernel);
+  /// Returns the (possibly freshly built) template for this kernel, moved
+  /// to the MRU position. The shared_ptr pins it: safe to use even if a
+  /// concurrent insert evicts it from the map.
+  std::shared_ptr<const GraphTemplate> cache_for(const kir::Kernel& kernel);
+  /// Evicts LRU templates (never the MRU front) until the resident
+  /// estimate fits the budget. Caller holds mu_.
+  void enforce_budget_locked();
 
   struct Skeleton {
     std::string kernel;
@@ -115,7 +141,16 @@ class SampleFactory {
   std::list<Skeleton> skeletons_;
 
   std::mutex mu_;
-  std::map<std::string, GraphTemplate> cache_;
+  struct TemplateEntry {
+    std::shared_ptr<const GraphTemplate> tpl;
+    std::size_t bytes = 0;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_it;
+  };
+  std::map<std::string, TemplateEntry> cache_;
+  std::list<std::string> lru_;
+  std::size_t cache_bytes_ = 0;
+  std::int64_t template_budget_bytes_ = 0;  // <= 0: unlimited
 };
 
 struct Dataset {

@@ -1,0 +1,171 @@
+// Matmul kernel variants. This TU is compiled with the portable baseline
+// flags; the AVX2/AVX-512 bodies opt into their ISA via per-function target
+// attributes, so one binary carries every variant and the dispatch level
+// picks at runtime. FMA is deliberately never enabled: the scalar baseline
+// (plain x86-64 has no FMA instruction) rounds the multiply and the add
+// separately, and the vector variants must produce the same bits.
+#include "tensor/simd.hpp"
+
+#include <algorithm>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define GNNDSE_X86 1
+#endif
+
+namespace gnndse::tensor::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tile (the reference bits; also the partial-tile path of every
+// level). kFullTile lets the compiler fully unroll the kJt-wide loops.
+// ---------------------------------------------------------------------------
+
+template <bool kFullTile>
+void tile_scalar(const float* ap, const float* bp, float* o, std::int64_t i0,
+                 std::int64_t i1, std::int64_t k, std::int64_t n,
+                 std::int64_t x0, std::int64_t x1, std::int64_t j0,
+                 std::int64_t jt, bool init, const float* bias) {
+  const bool last = x1 == k;
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float acc[kJt];
+    float* orow = o + i * n + j0;
+    const std::int64_t w = kFullTile ? kJt : jt;
+    if (init)
+      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] = 0.0f;
+    else
+      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] = orow[jj];
+    const float* arow = ap + i * k;
+    for (std::int64_t x = x0; x < x1; ++x) {
+      const float av_ix = arow[x];
+      if (av_ix == 0.0f) continue;
+      const float* brow = bp + x * n + j0;
+      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] += av_ix * brow[jj];
+    }
+    if (last && bias != nullptr)
+      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] += bias[j0 + jj];
+    for (std::int64_t jj = 0; jj < w; ++jj) orow[jj] = acc[jj];
+  }
+}
+
+#ifdef GNNDSE_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 full tile: 4 ymm accumulators = the 32-float column tile. Per k
+// step: broadcast a[i,x], then mul + add per lane — each output column's
+// additions stay in ascending-x order, so the bits match tile_scalar. The
+// a == 0 skip is kept: it is observable (0 * inf, -0 + 0) and part of the
+// scalar kernel's semantics.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void tile_avx2(
+    const float* ap, const float* bp, float* o, std::int64_t i0,
+    std::int64_t i1, std::int64_t k, std::int64_t n, std::int64_t x0,
+    std::int64_t x1, std::int64_t j0, bool init, const float* bias) {
+  const bool last = x1 == k;
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* orow = o + i * n + j0;
+    __m256 acc0, acc1, acc2, acc3;
+    if (init) {
+      acc0 = acc1 = acc2 = acc3 = _mm256_setzero_ps();
+    } else {
+      acc0 = _mm256_loadu_ps(orow);
+      acc1 = _mm256_loadu_ps(orow + 8);
+      acc2 = _mm256_loadu_ps(orow + 16);
+      acc3 = _mm256_loadu_ps(orow + 24);
+    }
+    const float* arow = ap + i * k;
+    for (std::int64_t x = x0; x < x1; ++x) {
+      const float av_ix = arow[x];
+      if (av_ix == 0.0f) continue;
+      const __m256 av = _mm256_set1_ps(av_ix);
+      const float* brow = bp + x * n + j0;
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(av, _mm256_loadu_ps(brow)));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 8)));
+      acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 16)));
+      acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(av, _mm256_loadu_ps(brow + 24)));
+    }
+    if (last && bias != nullptr) {
+      acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(bias + j0));
+      acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(bias + j0 + 8));
+      acc2 = _mm256_add_ps(acc2, _mm256_loadu_ps(bias + j0 + 16));
+      acc3 = _mm256_add_ps(acc3, _mm256_loadu_ps(bias + j0 + 24));
+    }
+    _mm256_storeu_ps(orow, acc0);
+    _mm256_storeu_ps(orow + 8, acc1);
+    _mm256_storeu_ps(orow + 16, acc2);
+    _mm256_storeu_ps(orow + 24, acc3);
+  }
+}
+
+// AVX-512 full tile: 2 zmm accumulators, same order contract.
+__attribute__((target("avx512f"))) void tile_avx512(
+    const float* ap, const float* bp, float* o, std::int64_t i0,
+    std::int64_t i1, std::int64_t k, std::int64_t n, std::int64_t x0,
+    std::int64_t x1, std::int64_t j0, bool init, const float* bias) {
+  const bool last = x1 == k;
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* orow = o + i * n + j0;
+    __m512 acc0, acc1;
+    if (init) {
+      acc0 = acc1 = _mm512_setzero_ps();
+    } else {
+      acc0 = _mm512_loadu_ps(orow);
+      acc1 = _mm512_loadu_ps(orow + 16);
+    }
+    const float* arow = ap + i * k;
+    for (std::int64_t x = x0; x < x1; ++x) {
+      const float av_ix = arow[x];
+      if (av_ix == 0.0f) continue;
+      const __m512 av = _mm512_set1_ps(av_ix);
+      const float* brow = bp + x * n + j0;
+      acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(av, _mm512_loadu_ps(brow)));
+      acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(av, _mm512_loadu_ps(brow + 16)));
+    }
+    if (last && bias != nullptr) {
+      acc0 = _mm512_add_ps(acc0, _mm512_loadu_ps(bias + j0));
+      acc1 = _mm512_add_ps(acc1, _mm512_loadu_ps(bias + j0 + 16));
+    }
+    _mm512_storeu_ps(orow, acc0);
+    _mm512_storeu_ps(orow + 16, acc1);
+  }
+}
+
+#endif  // GNNDSE_X86
+
+}  // namespace
+
+void matmul_rows(util::SimdLevel level, const float* ap, const float* bp,
+                 float* o, std::int64_t i0, std::int64_t i1, std::int64_t k,
+                 std::int64_t n, bool init, const float* bias) {
+#ifndef GNNDSE_X86
+  level = util::SimdLevel::kScalar;
+#endif
+  for (std::int64_t x0 = 0; x0 < k; x0 += kKc) {
+    const std::int64_t x1 = std::min(k, x0 + kKc);
+    const bool panel_init = init && x0 == 0;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kJt) {
+      const std::int64_t jt = std::min(kJt, n - j0);
+      if (jt == kJt) {
+        switch (level) {
+#ifdef GNNDSE_X86
+          case util::SimdLevel::kAvx512:
+            tile_avx512(ap, bp, o, i0, i1, k, n, x0, x1, j0, panel_init, bias);
+            continue;
+          case util::SimdLevel::kAvx2:
+            tile_avx2(ap, bp, o, i0, i1, k, n, x0, x1, j0, panel_init, bias);
+            continue;
+#endif
+          default:
+            tile_scalar<true>(ap, bp, o, i0, i1, k, n, x0, x1, j0, jt,
+                              panel_init, bias);
+            continue;
+        }
+      }
+      tile_scalar<false>(ap, bp, o, i0, i1, k, n, x0, x1, j0, jt, panel_init,
+                         bias);
+    }
+  }
+}
+
+}  // namespace gnndse::tensor::simd

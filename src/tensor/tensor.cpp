@@ -9,6 +9,8 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/simd_counters.hpp"
+#include "tensor/simd.hpp"
 #include "util/parallel.hpp"
 
 namespace gnndse::tensor {
@@ -28,11 +30,12 @@ std::size_t volume(const std::vector<std::int64_t>& shape) {
 Tensor::Tensor(std::vector<std::int64_t> shape)
     : shape_(std::move(shape)), data_(volume(shape_), 0.0f) {}
 
-Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
+Tensor::Tensor(std::vector<std::int64_t> shape, const std::vector<float>& data)
+    : shape_(std::move(shape)), data_(data.begin(), data.end()) {
   if (data_.size() != volume(shape_))
     throw std::invalid_argument("Tensor: data size does not match shape");
 }
+
 
 Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
   Tensor t(std::move(shape));
@@ -43,7 +46,10 @@ Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
 Tensor Tensor::reshaped(std::vector<std::int64_t> shape) const {
   if (static_cast<std::int64_t>(volume(shape)) != numel())
     throw std::invalid_argument("Tensor::reshaped: volume mismatch");
-  return Tensor(std::move(shape), data_);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
 }
 
 void Tensor::reset_(std::vector<std::int64_t> shape, bool zero) {
@@ -152,76 +158,9 @@ MatView view2d(const Tensor& t, bool trans) {
 thread_local std::vector<float> tl_pack_a;
 thread_local std::vector<float> tl_pack_b;
 
-/// k-panel size of the blocked kernel: one panel of B (kKc x n floats)
-/// stays hot in L2 while the row sweep streams over A.
-constexpr std::int64_t kKc = 256;
-
 /// Fan out only when the product is worth a pool round-trip, and size the
 /// row grain so each chunk carries at least this many FLOPs.
 constexpr std::int64_t kParallelFlops = std::int64_t{1} << 20;
-
-/// Column-tile width of the blocked kernel: 32 floats = 2 AVX-512 lanes of
-/// accumulators that live in registers for a whole k panel, so the output
-/// row is loaded/stored once per panel instead of once per k step. Wider
-/// tiles (64) measured slower here: the extra accumulator pressure costs
-/// more than the added FMA parallelism buys on this part.
-constexpr std::int64_t kJt = 32;
-
-/// Rows [i0, i1) of C (+)= A x B on row-major packed operands. k advances
-/// in kKc panels and columns in kJt register tiles, but for any output
-/// element the additions still happen in ascending-k order — the result is
-/// bit-identical to the plain i-k-j loop for every panel size, tile width
-/// and row split, which is what makes multi-threaded predictions
-/// reproducible (docs/performance.md).
-///
-/// `init`: the first k panel stores instead of accumulating, so the output
-/// needs no zero fill (the value is the same ascending-k sum from zero).
-/// `bias`: added once per element after its final panel — exactly the
-/// separate add_rowvec pass it replaces, one memory sweep cheaper.
-template <bool kFullTile>
-void matmul_tile(const float* ap, const float* bp, float* o, std::int64_t i0,
-                 std::int64_t i1, std::int64_t k, std::int64_t n,
-                 std::int64_t x0, std::int64_t x1, std::int64_t j0,
-                 std::int64_t jt, bool init, const float* bias) {
-  const bool last = x1 == k;
-  for (std::int64_t i = i0; i < i1; ++i) {
-    float acc[kJt];
-    float* orow = o + i * n + j0;
-    const std::int64_t w = kFullTile ? kJt : jt;
-    if (init)
-      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] = 0.0f;
-    else
-      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] = orow[jj];
-    const float* arow = ap + i * k;
-    for (std::int64_t x = x0; x < x1; ++x) {
-      const float av_ix = arow[x];
-      if (av_ix == 0.0f) continue;
-      const float* brow = bp + x * n + j0;
-      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] += av_ix * brow[jj];
-    }
-    if (last && bias != nullptr)
-      for (std::int64_t jj = 0; jj < w; ++jj) acc[jj] += bias[j0 + jj];
-    for (std::int64_t jj = 0; jj < w; ++jj) orow[jj] = acc[jj];
-  }
-}
-
-void matmul_rows(const float* ap, const float* bp, float* o, std::int64_t i0,
-                 std::int64_t i1, std::int64_t k, std::int64_t n,
-                 bool init = false, const float* bias = nullptr) {
-  for (std::int64_t x0 = 0; x0 < k; x0 += kKc) {
-    const std::int64_t x1 = std::min(k, x0 + kKc);
-    const bool panel_init = init && x0 == 0;
-    for (std::int64_t j0 = 0; j0 < n; j0 += kJt) {
-      const std::int64_t jt = std::min(kJt, n - j0);
-      if (jt == kJt)
-        matmul_tile<true>(ap, bp, o, i0, i1, k, n, x0, x1, j0, jt, panel_init,
-                          bias);
-      else
-        matmul_tile<false>(ap, bp, o, i0, i1, k, n, x0, x1, j0, jt, panel_init,
-                           bias);
-    }
-  }
-}
 
 }  // namespace
 
@@ -258,6 +197,12 @@ void matmul_impl(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
     bp = tl_pack_b.data();
   }
 
+  // SIMD level resolved once per matmul (simd::matmul_rows walks the k
+  // panels and register tiles; see tensor/simd.hpp — bit-identical at
+  // every level) and shared by all row chunks.
+  static obs::SimdDispatch dispatch("matmul");
+  const util::SimdLevel lvl = dispatch.level();
+
   const std::int64_t flops = 2 * m * k * n;
   if (flops >= kParallelFlops && !util::in_parallel_region()) {
     static obs::Counter& c_par = obs::counter("tensor.parallel_matmuls");
@@ -265,10 +210,10 @@ void matmul_impl(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
     const std::int64_t grain = std::max<std::int64_t>(
         1, kParallelFlops / std::max<std::int64_t>(1, 2 * k * n));
     util::parallel_for(m, grain, [&](std::int64_t i0, std::int64_t i1) {
-      matmul_rows(ap, bp, o, i0, i1, k, n, init, bias);
+      simd::matmul_rows(lvl, ap, bp, o, i0, i1, k, n, init, bias);
     });
   } else {
-    matmul_rows(ap, bp, o, 0, m, k, n, init, bias);
+    simd::matmul_rows(lvl, ap, bp, o, 0, m, k, n, init, bias);
   }
 }
 

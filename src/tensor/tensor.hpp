@@ -11,17 +11,24 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.hpp"
+
 namespace gnndse::tensor {
 
 class Tensor {
  public:
+  /// Backing store: 64-byte-aligned so the SIMD kernel layer's full-width
+  /// vector loads on tensor bases never straddle cache lines.
+  using Storage = util::AlignedVector<float>;
+
   Tensor() = default;
 
   /// Zero-initialized tensor of the given shape.
   explicit Tensor(std::vector<std::int64_t> shape);
 
-  /// Tensor with explicit contents; data.size() must equal the shape volume.
-  Tensor(std::vector<std::int64_t> shape, std::vector<float> data);
+  /// Tensor with explicit contents; data.size() must equal the shape volume
+  /// (copied into aligned storage).
+  Tensor(std::vector<std::int64_t> shape, const std::vector<float>& data);
 
   static Tensor zeros(std::vector<std::int64_t> shape) {
     return Tensor(std::move(shape));
@@ -92,7 +99,7 @@ class Tensor {
 
  private:
   std::vector<std::int64_t> shape_;
-  std::vector<float> data_;
+  Storage data_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Tensor& t);

@@ -1,0 +1,51 @@
+// 64-byte-aligned vector storage for tensor data.
+//
+// std::vector's default allocator only guarantees alignof(std::max_align_t)
+// (16 on this toolchain); the SIMD kernel layer wants tensor bases on cache
+// -line boundaries so full-width vector loads never straddle lines. The
+// kernels still use unaligned load instructions (row views land at
+// arbitrary offsets), which cost nothing extra when the address happens to
+// be aligned — the allocator just makes that the common case.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace gnndse::util {
+
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  static_assert((Align & (Align - 1)) == 0, "Align must be a power of two");
+  static_assert(Align >= alignof(T), "Align must satisfy T's alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// Cache-line-aligned float storage (the Tensor backing store).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace gnndse::util

@@ -1,0 +1,101 @@
+#include "util/cpu.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace gnndse::util {
+namespace {
+
+SimdLevel probe() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+std::atomic<int> g_active{-1};  // -1 = not yet resolved
+std::once_flag g_resolve_once;
+
+/// Stores the level and keeps the `tensor.simd_level` gauge registered and
+/// current. The gauge is set directly (not via the enabled() gate) so it
+/// appears in every report, mirroring the pool gauges registered at pool
+/// construction.
+void publish(SimdLevel level) {
+  g_active.store(static_cast<int>(level), std::memory_order_relaxed);
+  obs::gauge("tensor.simd_level")
+      .set(static_cast<double>(simd_level_width(level)));
+}
+
+}  // namespace
+
+SimdLevel detect_simd_level() {
+  static const SimdLevel cap = probe();
+  return cap;
+}
+
+SimdLevel parse_simd_level(const std::string& value, SimdLevel fallback) {
+  if (value == "scalar") return SimdLevel::kScalar;
+  if (value == "avx2") return SimdLevel::kAvx2;
+  if (value == "avx512") return SimdLevel::kAvx512;
+  if (!value.empty() && value != "auto")
+    log_warn("GNNDSE_SIMD=", value,
+             " not recognized (scalar|avx2|avx512|auto); using auto");
+  return fallback;
+}
+
+SimdLevel active_simd_level() {
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v < 0) {
+    std::call_once(g_resolve_once, [] {
+      const SimdLevel cap = detect_simd_level();
+      const SimdLevel req = parse_simd_level(env_str("GNNDSE_SIMD", "auto"), cap);
+      if (req > cap)
+        log_warn("GNNDSE_SIMD=", simd_level_name(req),
+                 " exceeds host capability ", simd_level_name(cap),
+                 "; clamping");
+      publish(req < cap ? req : cap);
+    });
+    v = g_active.load(std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(v);
+}
+
+SimdLevel set_simd_level(SimdLevel level) {
+  active_simd_level();  // make sure env resolution never overwrites us later
+  const SimdLevel cap = detect_simd_level();
+  const SimdLevel applied = level < cap ? level : cap;
+  publish(applied);
+  return applied;
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+int simd_level_width(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return 0;
+    case SimdLevel::kAvx2:
+      return 256;
+    case SimdLevel::kAvx512:
+      return 512;
+  }
+  return 0;
+}
+
+}  // namespace gnndse::util

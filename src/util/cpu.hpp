@@ -1,0 +1,53 @@
+// Runtime CPU feature detection and the process-wide SIMD dispatch level.
+//
+// The tensor and inference kernels ship multiple variants (scalar, AVX2,
+// AVX-512) compiled via per-function target attributes into one portable
+// binary; the active variant is picked here at startup and can be pinned
+// with GNNDSE_SIMD=scalar|avx2|avx512|auto (requests above the host's
+// capability clamp down with a warning, so a config written on an AVX-512
+// box still runs everywhere).
+//
+// Every variant preserves the scalar kernels' float accumulation order
+// bit-exactly (vectorization crosses independent rows/edges/columns only),
+// so the level is a pure throughput knob: predictions are bit-identical at
+// every level and thread count (tests/test_simd.cpp, simd_dispatch_check).
+//
+// Telemetry: the `tensor.simd_level` gauge reports the active level as its
+// vector width in bits (0 = scalar, 256 = AVX2, 512 = AVX-512); per-kernel
+// dispatch counters live in obs/simd_counters.hpp.
+#pragma once
+
+#include <string>
+
+namespace gnndse::util {
+
+/// Ordered capability tiers: each level implies the ones below it.
+enum class SimdLevel : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Hardware capability of this host (CPUID probe, cached after first call).
+/// AVX2 requires the avx2 feature bit; AVX-512 requires avx512f.
+SimdLevel detect_simd_level();
+
+/// The level kernels dispatch on: min(GNNDSE_SIMD request, capability),
+/// resolved once on first use. Cheap (one relaxed atomic load) — callers
+/// read it per kernel invocation.
+SimdLevel active_simd_level();
+
+/// Re-pins the active level (clamped to the host capability; returns the
+/// level actually applied). Test/bench hook — not safe to call while a
+/// kernel is in flight on another thread, but levels never change results,
+/// only speed, so a race would at worst split one call across variants.
+SimdLevel set_simd_level(SimdLevel level);
+
+/// "scalar" / "avx2" / "avx512".
+const char* simd_level_name(SimdLevel level);
+
+/// Vector width in bits (0 / 256 / 512) — the `tensor.simd_level` gauge
+/// encoding.
+int simd_level_width(SimdLevel level);
+
+/// Parses a GNNDSE_SIMD value; "auto" and unknown strings return `fallback`
+/// (unknown additionally logs a warning).
+SimdLevel parse_simd_level(const std::string& value, SimdLevel fallback);
+
+}  // namespace gnndse::util

@@ -32,6 +32,15 @@ int env_int(const std::string& name, int fallback) {
   return static_cast<int>(parsed);
 }
 
+std::int64_t env_int64(const std::string& name, std::int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
 double env_double(const std::string& name, double fallback) {
   const char* v = std::getenv(name.c_str());
   if (v == nullptr || *v == '\0') return fallback;

@@ -7,6 +7,7 @@
 // minutes on one CPU core.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace gnndse::util {
@@ -18,6 +19,9 @@ RunScale run_scale();
 
 /// Reads an integer env var, returning `fallback` when unset or malformed.
 int env_int(const std::string& name, int fallback);
+
+/// 64-bit variant for byte budgets (e.g. GNNDSE_TEMPLATE_BUDGET).
+std::int64_t env_int64(const std::string& name, std::int64_t fallback);
 
 /// Reads a floating-point env var, returning `fallback` when unset or
 /// malformed.

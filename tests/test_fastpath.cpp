@@ -191,6 +191,50 @@ TEST(FastPath, TemplateInvalidatedOnKernelEdit) {
   obs::set_enabled(false);
 }
 
+TEST(FastPath, TemplateBudgetEvictsLruButNeverMru) {
+  obs::set_enabled(true);
+  obs::Counter& misses = obs::counter("gnn.template_misses");
+  obs::Counter& evictions = obs::counter("gnn.template_evictions");
+
+  kir::Kernel k1 = kernels::make_kernel("spmv-crs");
+  kir::Kernel k2 = kernels::make_kernel("gemm-ncubed");
+  const auto cfg1 = sample_configs(k1, 1, 4)[0];
+  const auto cfg2 = sample_configs(k2, 1, 4)[0];
+
+  // A 1-byte budget can never hold two templates, but the MRU entry must
+  // survive its own insert (the factory never evicts the template the
+  // caller is about to use).
+  SampleFactory tight(1);
+  const std::int64_t m0 = misses.value(), e0 = evictions.value();
+  tight.featurize(k1, cfg1);  // build k1 (sole entry: kept despite budget)
+  EXPECT_EQ(misses.value(), m0 + 1);
+  EXPECT_EQ(evictions.value(), e0);
+  tight.featurize(k1, cfg1);  // still resident
+  EXPECT_EQ(misses.value(), m0 + 1);
+
+  tight.featurize(k2, cfg2);  // k2 becomes MRU; k1 evicted
+  EXPECT_EQ(misses.value(), m0 + 2);
+  EXPECT_EQ(evictions.value(), e0 + 1);
+  tight.featurize(k2, cfg2);  // MRU still resident
+  EXPECT_EQ(misses.value(), m0 + 2);
+
+  tight.featurize(k1, cfg1);  // k1 rebuilt, k2 evicted in turn
+  EXPECT_EQ(misses.value(), m0 + 3);
+  EXPECT_EQ(evictions.value(), e0 + 2);
+
+  // Unlimited budget (<= 0): both templates stay resident.
+  SampleFactory unlimited(0);
+  const std::int64_t m1 = misses.value(), e1 = evictions.value();
+  unlimited.featurize(k1, cfg1);
+  unlimited.featurize(k2, cfg2);
+  unlimited.featurize(k1, cfg1);
+  unlimited.featurize(k2, cfg2);
+  EXPECT_EQ(misses.value(), m1 + 2);
+  EXPECT_EQ(evictions.value(), e1);
+
+  obs::set_enabled(false);
+}
+
 TEST(FastPath, WorkspaceStopsGrowingAfterWarmup) {
   kir::Kernel kernel = kernels::make_kernel("spmv-crs");
   SampleFactory factory;

@@ -1,0 +1,321 @@
+// Runtime SIMD dispatch layer: bit-identity of every vectorized kernel
+// against the scalar reference across dispatch levels, shapes with
+// remainders, unaligned row views, and thread counts; env parsing;
+// dispatch telemetry; and end-to-end fast-path identity per level.
+#include "tensor/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "gnn/infer.hpp"
+#include "gnn/infer_simd.hpp"
+#include "kernels/kernels.hpp"
+#include "model/dataset.hpp"
+#include "model/predictive_model.hpp"
+#include "model/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "util/cpu.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace gnndse {
+namespace {
+
+using tensor::Tensor;
+using util::SimdLevel;
+
+/// Restores hardware-detected dispatch and the default pool on exit, even
+/// when an assertion fails mid-test.
+struct DispatchGuard {
+  ~DispatchGuard() {
+    util::set_simd_level(util::detect_simd_level());
+    util::set_parallel_threads(0);
+  }
+};
+
+/// Levels this host can actually run (always includes kScalar).
+std::vector<SimdLevel> available_levels() {
+  std::vector<SimdLevel> out{SimdLevel::kScalar};
+  const SimdLevel cap = util::detect_simd_level();
+  if (cap >= SimdLevel::kAvx2) out.push_back(SimdLevel::kAvx2);
+  if (cap >= SimdLevel::kAvx512) out.push_back(SimdLevel::kAvx512);
+  return out;
+}
+
+Tensor random_tensor(std::vector<std::int64_t> shape, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return t;
+}
+
+std::vector<std::int32_t> random_indices(std::size_t n, std::int64_t hi,
+                                         util::Rng& rng) {
+  std::vector<std::int32_t> idx(n);
+  for (auto& v : idx)
+    v = static_cast<std::int32_t>(rng.uniform_int(static_cast<std::uint64_t>(hi)));
+  return idx;
+}
+
+void expect_bitwise(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    ASSERT_EQ(a.data()[i], b.data()[i]) << what << " element " << i;
+}
+
+TEST(SimdKernels, TensorStorageIsCacheLineAligned) {
+  util::Rng rng(3);
+  for (std::int64_t n : {1, 7, 64, 1000}) {
+    Tensor t = random_tensor({n}, rng);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % 64, 0u)
+        << "numel " << n;
+  }
+}
+
+TEST(SimdKernels, MatmulBitIdenticalAcrossLevelsShapesAndTranspose) {
+  DispatchGuard guard;
+  util::Rng rng(11);
+  // Shapes straddle the k-panel (256) and column-tile (32) boundaries and
+  // include 1-wide and odd remainders.
+  const std::int64_t shapes[][3] = {{1, 1, 1},   {3, 7, 31},  {5, 64, 32},
+                                    {4, 65, 33}, {2, 33, 64}, {7, 96, 40},
+                                    {9, 257, 65}};
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], k = s[1], n = s[2];
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        const Tensor a = random_tensor(ta ? std::vector<std::int64_t>{k, m}
+                                          : std::vector<std::int64_t>{m, k},
+                                       rng);
+        const Tensor b = random_tensor(tb ? std::vector<std::int64_t>{n, k}
+                                          : std::vector<std::int64_t>{k, n},
+                                       rng);
+        util::set_simd_level(SimdLevel::kScalar);
+        const Tensor ref = tensor::matmul(a, b, ta, tb);
+        for (SimdLevel lvl : available_levels()) {
+          ASSERT_EQ(util::set_simd_level(lvl), lvl);
+          expect_bitwise(ref, tensor::matmul(a, b, ta, tb),
+                         std::string("matmul ") + util::simd_level_name(lvl));
+        }
+      }
+    }
+    // Fused bias epilogue (matmul_bias with and without bias).
+    const Tensor a = random_tensor({m, k}, rng);
+    const Tensor b = random_tensor({k, n}, rng);
+    const Tensor bias = random_tensor({n}, rng);
+    util::set_simd_level(SimdLevel::kScalar);
+    Tensor ref({m, n}), ref_nb({m, n});
+    tensor::matmul_bias(a, b, &bias, ref);
+    tensor::matmul_bias(a, b, nullptr, ref_nb);
+    for (SimdLevel lvl : available_levels()) {
+      ASSERT_EQ(util::set_simd_level(lvl), lvl);
+      Tensor out({m, n}), out_nb({m, n});
+      tensor::matmul_bias(a, b, &bias, out);
+      tensor::matmul_bias(a, b, nullptr, out_nb);
+      expect_bitwise(ref, out, "matmul_bias");
+      expect_bitwise(ref_nb, out_nb, "matmul_bias nullptr");
+    }
+  }
+}
+
+TEST(SimdKernels, FusedKernelsBitIdenticalAcrossLevelsAndThreads) {
+  DispatchGuard guard;
+  util::Rng rng(17);
+  const std::int64_t kN = 37;  // nodes
+  const std::int64_t kE = 101;  // edges
+  const std::int64_t kSegs = 9;
+  // Column widths with full vectors, remainders, and sub-vector rows.
+  for (std::int64_t c : {std::int64_t{1}, std::int64_t{7}, std::int64_t{9},
+                         std::int64_t{16}, std::int64_t{33}}) {
+    const Tensor x = random_tensor({kN, c}, rng);
+    const Tensor y = random_tensor({kN, c}, rng);
+    const Tensor beta = random_tensor({kN, 1}, rng);
+    const Tensor cat = random_tensor({kN, 3 * c}, rng);
+    const Tensor q = random_tensor({kN, c}, rng);
+    const Tensor k = random_tensor({kN, c}, rng);
+    const Tensor ek = random_tensor({kE, c}, rng);
+    const Tensor scores1 = random_tensor({kN, 1}, rng);
+    const Tensor scores2 = random_tensor({kN, 1}, rng);
+    const Tensor escores = random_tensor({kE, 1}, rng);
+    const Tensor alpha = random_tensor({kE, 1}, rng);
+    const auto src = random_indices(static_cast<std::size_t>(kE), kN, rng);
+    const auto dst = random_indices(static_cast<std::size_t>(kE), kN, rng);
+    std::vector<std::int32_t> seg(static_cast<std::size_t>(kE));
+    for (std::size_t i = 0; i < seg.size(); ++i)
+      seg[i] = static_cast<std::int32_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(kSegs - 1)));  // seg 8 empty
+
+    // Scalar single-thread reference for every kernel.
+    struct Results {
+      Tensor row_sum, residual, gated, eattn, epair, wscatter, ssmax;
+    };
+    auto run = [&](SimdLevel lvl, int threads) {
+      util::set_parallel_threads(threads);
+      EXPECT_EQ(util::set_simd_level(lvl), lvl);
+      gnn::InferenceSession s;
+      s.begin();
+      Results r;
+      r.row_sum = s.row_sum(x);
+      r.residual = s.residual_concat(x, y);
+      r.gated = s.gated_mix(x, beta, cat);
+      r.eattn = s.edge_attention_scores(q, k, ek, src, dst, 0.25f);
+      r.epair = s.edge_pair_scores(scores1, scores2, src, dst, 0.2f);
+      r.wscatter = s.weighted_scatter_add(alpha.data(), x, &ek, src, dst, kN);
+      r.ssmax = s.segment_softmax(escores, seg, kSegs);
+      return r;
+    };
+    const Results ref = run(SimdLevel::kScalar, 1);
+    for (SimdLevel lvl : available_levels()) {
+      for (int threads : {1, 2, 4}) {
+        const Results got = run(lvl, threads);
+        const std::string tag = std::string(util::simd_level_name(lvl)) +
+                                " threads=" + std::to_string(threads) +
+                                " c=" + std::to_string(c);
+        expect_bitwise(ref.row_sum, got.row_sum, "row_sum " + tag);
+        expect_bitwise(ref.residual, got.residual, "residual_concat " + tag);
+        expect_bitwise(ref.gated, got.gated, "gated_mix " + tag);
+        expect_bitwise(ref.eattn, got.eattn, "edge_attention_scores " + tag);
+        expect_bitwise(ref.epair, got.epair, "edge_pair_scores " + tag);
+        expect_bitwise(ref.wscatter, got.wscatter,
+                       "weighted_scatter_add " + tag);
+        expect_bitwise(ref.ssmax, got.ssmax, "segment_softmax " + tag);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, RangeHelpersBitIdenticalOnUnalignedViews) {
+  DispatchGuard guard;
+  util::Rng rng(23);
+  const std::int64_t r = 19, c = 21;
+  // Deliberately misaligned bases: every pointer is one float past a
+  // (64-byte-aligned) tensor start, and the row range starts mid-tensor.
+  Tensor abuf = random_tensor({r * c + 1}, rng);
+  Tensor obuf({r + 1});
+  const float* ap = abuf.data() + 1;
+  float* op = obuf.data() + 1;
+  util::set_simd_level(SimdLevel::kScalar);
+  std::vector<float> ref(static_cast<std::size_t>(r));
+  gnn::simd::row_sum_range(SimdLevel::kScalar, ap, c, ref.data(), 0, r);
+  for (SimdLevel lvl : available_levels()) {
+    std::memset(op, 0, static_cast<std::size_t>(r) * sizeof(float));
+    gnn::simd::row_sum_range(lvl, ap, c, op, 0, r);
+    for (std::int64_t i = 0; i < r; ++i)
+      ASSERT_EQ(ref[static_cast<std::size_t>(i)], op[i])
+          << "row_sum unaligned " << util::simd_level_name(lvl) << " row " << i;
+  }
+
+  // Partial edge range [3, E-2) with unaligned score columns.
+  const std::int64_t e = 43;
+  Tensor sa = random_tensor({r + 1}, rng);
+  Tensor sb = random_tensor({r + 1}, rng);
+  const auto src = random_indices(static_cast<std::size_t>(e), r, rng);
+  const auto dst = random_indices(static_cast<std::size_t>(e), r, rng);
+  std::vector<float> eref(static_cast<std::size_t>(e), 0.0f);
+  std::vector<float> egot(static_cast<std::size_t>(e), 0.0f);
+  gnn::simd::edge_pair_scores_range(SimdLevel::kScalar, sa.data() + 1,
+                                    sb.data() + 1, src.data(), dst.data(),
+                                    0.2f, eref.data(), 3, e - 2);
+  for (SimdLevel lvl : available_levels()) {
+    std::fill(egot.begin(), egot.end(), 0.0f);
+    gnn::simd::edge_pair_scores_range(lvl, sa.data() + 1, sb.data() + 1,
+                                      src.data(), dst.data(), 0.2f,
+                                      egot.data(), 3, e - 2);
+    EXPECT_EQ(eref, egot) << "edge_pair partial range "
+                          << util::simd_level_name(lvl);
+  }
+}
+
+TEST(SimdKernels, EnvParseAndClamp) {
+  using util::parse_simd_level;
+  EXPECT_EQ(parse_simd_level("scalar", SimdLevel::kAvx512), SimdLevel::kScalar);
+  EXPECT_EQ(parse_simd_level("avx2", SimdLevel::kScalar), SimdLevel::kAvx2);
+  EXPECT_EQ(parse_simd_level("avx512", SimdLevel::kScalar),
+            SimdLevel::kAvx512);
+  EXPECT_EQ(parse_simd_level("auto", SimdLevel::kAvx2), SimdLevel::kAvx2);
+  EXPECT_EQ(parse_simd_level("", SimdLevel::kAvx2), SimdLevel::kAvx2);
+  EXPECT_EQ(parse_simd_level("turbo9000", SimdLevel::kAvx2), SimdLevel::kAvx2);
+
+  DispatchGuard guard;
+  // set_simd_level clamps to hardware capability and reports what it
+  // applied; requesting scalar always succeeds.
+  EXPECT_EQ(util::set_simd_level(SimdLevel::kScalar), SimdLevel::kScalar);
+  const SimdLevel cap = util::detect_simd_level();
+  EXPECT_LE(util::set_simd_level(SimdLevel::kAvx512), cap);
+
+  EXPECT_EQ(util::simd_level_width(SimdLevel::kScalar), 0);
+  EXPECT_EQ(util::simd_level_width(SimdLevel::kAvx2), 256);
+  EXPECT_EQ(util::simd_level_width(SimdLevel::kAvx512), 512);
+}
+
+TEST(SimdKernels, DispatchCountersAndGaugeTrackActiveLevel) {
+  DispatchGuard guard;
+  obs::set_enabled(true);
+  util::Rng rng(29);
+  const Tensor x = random_tensor({5, 8}, rng);
+  for (SimdLevel lvl : available_levels()) {
+    util::set_simd_level(lvl);
+    obs::Counter& c = obs::counter(std::string("simd.row_sum.") +
+                                   util::simd_level_name(lvl));
+    const std::int64_t before = c.value();
+    gnn::InferenceSession s;
+    s.begin();
+    s.row_sum(x);
+    EXPECT_EQ(c.value(), before + 1) << util::simd_level_name(lvl);
+    EXPECT_EQ(obs::gauge("tensor.simd_level").value(),
+              static_cast<double>(util::simd_level_width(lvl)));
+  }
+  obs::set_enabled(false);
+}
+
+// The `simd_dispatch_check` ctest runs exactly this suite: predictions of
+// the full fast path (and the tape) must be bit-identical at every
+// dispatch level and thread count.
+TEST(SimdDispatchCheck, FastPathPredictionsBitIdenticalAcrossLevels) {
+  DispatchGuard guard;
+  kir::Kernel kernel = kernels::make_kernel("spmv-crs");
+  model::SampleFactory factory;
+  dspace::DesignSpace space(kernel);
+  util::Rng crng(7);
+  std::vector<hlssim::DesignConfig> configs;
+  for (int i = 0; i < 10; ++i) configs.push_back(space.sample(crng));
+  std::vector<gnn::GraphData> graphs;
+  for (const auto& cf : configs) graphs.push_back(factory.featurize(kernel, cf));
+  std::vector<const gnn::GraphData*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+
+  util::Rng rng(11);
+  model::PredictiveModel model(
+      [] {
+        model::ModelOptions mo;
+        mo.kind = model::ModelKind::kM7Full;
+        mo.gnn_layers = 3;
+        mo.hidden = 16;
+        mo.out_dim = 4;
+        return mo;
+      }(),
+      rng);
+  model::Trainer trainer(model, model::TrainOptions{});
+
+  util::set_simd_level(SimdLevel::kScalar);
+  util::set_parallel_threads(1);
+  const Tensor ref = trainer.predict_graphs(ptrs);
+  expect_bitwise(ref, trainer.predict_graphs_tape(ptrs), "scalar tape");
+
+  for (SimdLevel lvl : available_levels()) {
+    for (int threads : {1, 2, 4}) {
+      util::set_parallel_threads(threads);
+      ASSERT_EQ(util::set_simd_level(lvl), lvl);
+      const std::string tag = std::string(util::simd_level_name(lvl)) +
+                              " threads=" + std::to_string(threads);
+      expect_bitwise(ref, trainer.predict_graphs(ptrs), "fast path " + tag);
+      expect_bitwise(ref, trainer.predict_graphs_tape(ptrs), "tape " + tag);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gnndse
