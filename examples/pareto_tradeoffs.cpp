@@ -12,7 +12,7 @@
 #include "db/explorer.hpp"
 #include "dse/dse.hpp"
 #include "dse/pipeline.hpp"
-#include "kernels/kernels.hpp"
+#include "kernels/registry.hpp"
 #include "oracle/stack.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -23,9 +23,9 @@ int main() {
   oracle::OracleStack oracle;
 
   // Train on matrix/stencil kernels; hold out spmv-ellpack entirely.
-  std::vector<kir::Kernel> train = {
-      kernels::make_kernel("atax"), kernels::make_kernel("gemm-ncubed"),
-      kernels::make_kernel("stencil"), kernels::make_kernel("spmv-crs")};
+  auto& reg = kernels::Registry::global();
+  std::vector<kir::Kernel> train = {reg.get("atax"), reg.get("gemm-ncubed"),
+                                    reg.get("stencil"), reg.get("spmv-crs")};
   util::Rng rng(42);
   db::Database database = db::generate_initial_database(
       train, oracle, rng, [](const std::string&) { return 250; });
@@ -37,7 +37,7 @@ int main() {
   dse::TrainedModels models(database, train, factory, po);
 
   // True frontier: exhaustive HLS sweep of the held-out kernel.
-  kir::Kernel target = kernels::make_kernel("spmv-ellpack");
+  kir::Kernel target = reg.get("spmv-ellpack");
   dspace::DesignSpace space(target);
   std::vector<db::DataPoint> all;
   space.for_each([&](const hlssim::DesignConfig& cfg) {

@@ -12,7 +12,7 @@
 
 #include "db/explorer.hpp"
 #include "dse/pipeline.hpp"
-#include "kernels/kernels.hpp"
+#include "kernels/registry.hpp"
 #include "oracle/stack.hpp"
 #include "util/timer.hpp"
 
@@ -20,7 +20,9 @@ using namespace gnndse;
 
 int main() {
   // -- 1. a kernel ----------------------------------------------------------
-  kir::Kernel gemm = kernels::make_kernel("gemm-ncubed");
+  // The registry resolves names and .json paths alike; every compiled
+  // benchmark is pre-registered.
+  kir::Kernel gemm = kernels::Registry::global().get("gemm-ncubed");
   std::printf("kernel %s: %zu loops, %d pragma sites\n", gemm.name.c_str(),
               gemm.loops.size(), gemm.num_pragma_sites());
 

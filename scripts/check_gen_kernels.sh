@@ -1,0 +1,25 @@
+#!/bin/sh
+# CLI determinism gate: `gnndse gen-kernels` with a fixed seed must write
+# byte-identical .json files on every invocation (the generator draws all
+# structure from one seeded util::Rng stream and the frontend serializer is
+# canonical). Run twice into fresh directories and require a clean diff.
+#
+# usage: check_gen_kernels.sh <gnndse-binary> <scratch-dir>
+set -e
+GNNDSE="$1"
+SCRATCH="$2"
+[ -n "$GNNDSE" ] && [ -n "$SCRATCH" ] || {
+  echo "usage: $0 <gnndse-binary> <scratch-dir>" >&2
+  exit 2
+}
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+"$GNNDSE" gen-kernels --count 25 --seed 5 --out "$SCRATCH/a" > /dev/null
+"$GNNDSE" gen-kernels --count 25 --seed 5 --out "$SCRATCH/b" > /dev/null
+COUNT=$(ls "$SCRATCH/a"/*.json | wc -l)
+[ "$COUNT" -eq 25 ] || {
+  echo "expected 25 kernels, got $COUNT" >&2
+  exit 1
+}
+diff -r "$SCRATCH/a" "$SCRATCH/b"
+echo "gen-kernels: 25 kernels byte-identical across runs"

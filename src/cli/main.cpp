@@ -1,12 +1,21 @@
 // gnndse — command-line front end to the GNN-DSE reproduction.
 //
-//   gnndse list                               kernels + design-space stats
+//   gnndse list-kernels [--kernels DIR]       kernels + provenance + stats
+//                                             (`list` is an alias)
 //   gnndse eval <kernel> [--config KEY]       evaluate one design with HLS
 //   gnndse graph <kernel> [--config KEY] [--out g.dot]
+//   gnndse gen-kernels --count N [--seed S] [--out DIR] [--prefix P]
+//                      [--max-loops N] [--max-depth D] [--max-trip T]
 //   gnndse gen-db [--out db.csv] [--budget N] [--extension]
+//                 [--kernels DIR] [--gen N --gen-seed S]
 //   gnndse train [--db db.csv] [--epochs N] [--out PREFIX]
+//                [--kernels DIR] [--gen N --gen-seed S]
 //   gnndse dse <kernel> [--db db.csv] [--weights PREFIX] [--time SECONDS]
 //   gnndse autodse <kernel> [--budget-hours H]
+//
+// Every <kernel> argument accepts either a registry name (see
+// `list-kernels`) or a path to a .json kernel description (docs/kernels.md)
+// — file kernels run the full pipeline with no recompile.
 //
 // Every command honors --report <path> (or the GNNDSE_REPORT env var): a
 // machine-readable JSON run report — metrics registry plus the span tree —
@@ -16,6 +25,7 @@
 // streams live NDJSON progress samples while the command runs (see
 // docs/observability.md).
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 
 #include "analysis/pareto.hpp"
@@ -23,9 +33,12 @@
 #include "db/explorer.hpp"
 #include "dse/dse.hpp"
 #include "dse/pipeline.hpp"
+#include "frontend/kernel_json.hpp"
 #include "graphgen/dot_export.hpp"
+#include "kernels/generator.hpp"
 #include "kernels/kernels.hpp"
 #include "kernels/kernels_extension.hpp"
+#include "kernels/registry.hpp"
 #include "obs/report.hpp"
 #include "oracle/stack.hpp"
 #include "util/table.hpp"
@@ -36,40 +49,112 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gnndse <list|eval|graph|gen-db|train|dse|autodse> "
-               "[args]\n  see the header of src/cli/main.cpp\n");
+               "usage: gnndse <list-kernels|eval|graph|gen-kernels|gen-db|"
+               "train|dse|autodse> [args]\n"
+               "  see the header of src/cli/main.cpp\n");
   return 2;
 }
 
-std::vector<kir::Kernel> training_set(bool with_extension) {
+/// Registers any --kernels DIR file kernels into the global registry (so
+/// list-kernels sees them and later lookups by name hit) and returns how
+/// many were added. Shared by list-kernels/gen-db/train/dse.
+std::size_t register_kernel_dir(const cli::Args& args) {
+  if (!args.has("kernels")) return 0;
+  return kernels::Registry::global().add_directory(args.get("kernels", ""))
+      .size();
+}
+
+/// A kernel name or .json path -> kir::Kernel via the global registry.
+kir::Kernel resolve_kernel(const std::string& name_or_path) {
+  return kernels::Registry::global().resolve(name_or_path);
+}
+
+/// The kernels the surrogate trains on: the 9 builtin training kernels,
+/// plus the extension set (--extension), plus every --kernels DIR file
+/// kernel, plus --gen N seeded-generator kernels (--gen-seed S, default 1).
+std::vector<kir::Kernel> training_set(const cli::Args& args) {
   auto ks = kernels::make_training_kernels();
-  if (with_extension)
+  if (args.has("extension"))
     for (auto& k : kernels::make_extension_kernels()) ks.push_back(k);
+  auto& reg = kernels::Registry::global();
+  if (args.has("kernels"))
+    for (const auto& name : reg.add_directory(args.get("kernels", "")))
+      ks.push_back(reg.get(name));
+  const int gen = args.get_int("gen", 0);
+  if (gen > 0) {
+    kernels::GeneratorConfig cfg;
+    const auto base = static_cast<std::uint64_t>(args.get_int("gen-seed", 1));
+    for (auto& k : kernels::generate_batch(cfg, base, gen)) {
+      reg.add(k, kernels::Provenance::kGenerated, "seed");
+      ks.push_back(std::move(k));
+    }
+  }
   return ks;
 }
 
-int cmd_list() {
+int cmd_list_kernels(const cli::Args& args) {
+  register_kernel_dir(args);
+  auto& reg = kernels::Registry::global();
   util::Table t{"Kernels"};
-  t.header({"Kernel", "Set", "#pragmas", "#configs (pruned)", "Loops",
-            "Stmts"});
-  auto add = [&t](const std::string& name, const char* set) {
-    kir::Kernel k = kernels::make_kernel(name);
-    dspace::DesignSpace space(k);
-    t.row({name, set, util::Table::fmt_int(k.num_pragma_sites()),
-           util::Table::fmt_commas(static_cast<long long>(space.pruned_size())),
-           util::Table::fmt_int(static_cast<long long>(k.loops.size())),
-           util::Table::fmt_int(static_cast<long long>(k.stmts.size()))});
+  t.header({"Kernel", "Source", "Set", "#pragmas", "#configs (pruned)",
+            "Loops", "Stmts"});
+  auto set_of = [](const std::string& name) -> const char* {
+    for (const auto& n : kernels::training_kernel_names())
+      if (n == name) return "training";
+    for (const auto& n : kernels::unseen_kernel_names())
+      if (n == name) return "unseen";
+    for (const auto& n : kernels::extension_kernel_names())
+      if (n == name) return "extension";
+    return "-";
   };
-  for (const auto& n : kernels::training_kernel_names()) add(n, "training");
-  for (const auto& n : kernels::unseen_kernel_names()) add(n, "unseen");
-  for (const auto& n : kernels::extension_kernel_names()) add(n, "extension");
+  for (const auto& name : reg.names()) {
+    const auto& e = reg.entry(name);
+    dspace::DesignSpace space(e.kernel);
+    t.row({name, kernels::provenance_name(e.provenance), set_of(name),
+           util::Table::fmt_int(e.kernel.num_pragma_sites()),
+           util::Table::fmt_commas(static_cast<long long>(space.pruned_size())),
+           util::Table::fmt_int(static_cast<long long>(e.kernel.loops.size())),
+           util::Table::fmt_int(
+               static_cast<long long>(e.kernel.stmts.size()))});
+  }
   t.print(std::cout);
+  std::printf("%zu kernels; pass a .json path to any command to run a file "
+              "kernel (docs/kernels.md)\n",
+              reg.size());
+  return 0;
+}
+
+int cmd_gen_kernels(const cli::Args& args) {
+  const int count = args.get_int("count", 0);
+  if (count < 1) {
+    std::fprintf(stderr, "gen-kernels: --count N (>= 1) is required\n");
+    return 2;
+  }
+  kernels::GeneratorConfig cfg;
+  cfg.name_prefix = args.get("prefix", cfg.name_prefix);
+  cfg.max_loops = args.get_int("max-loops", cfg.max_loops);
+  cfg.min_loops = std::min(cfg.min_loops, cfg.max_loops);
+  cfg.max_depth = args.get_int("max-depth", cfg.max_depth);
+  cfg.max_trip = args.get_int("max-trip", static_cast<int>(cfg.max_trip));
+  cfg.min_trip = std::min(cfg.min_trip, cfg.max_trip);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string out = args.get("out", "gen_kernels");
+  std::filesystem::create_directories(out);
+  for (int i = 0; i < count; ++i) {
+    kir::Kernel k = kernels::generate(cfg, seed + static_cast<std::uint64_t>(i));
+    frontend::save_kernel_file(k, out + "/" + k.name + ".json");
+  }
+  std::printf("wrote %d kernels (seeds %llu..%llu) -> %s/\n", count,
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(
+                  seed + static_cast<std::uint64_t>(count) - 1),
+              out.c_str());
   return 0;
 }
 
 int cmd_eval(const cli::Args& args) {
   if (args.positional().size() < 2) return usage();
-  kir::Kernel k = kernels::make_kernel(args.positional()[1]);
+  kir::Kernel k = resolve_kernel(args.positional()[1]);
   hlssim::DesignConfig cfg =
       args.has("config") ? hlssim::parse_config_key(args.get("config", ""))
                          : hlssim::DesignConfig::neutral(k);
@@ -97,7 +182,7 @@ int cmd_eval(const cli::Args& args) {
 
 int cmd_graph(const cli::Args& args) {
   if (args.positional().size() < 2) return usage();
-  kir::Kernel k = kernels::make_kernel(args.positional()[1]);
+  kir::Kernel k = resolve_kernel(args.positional()[1]);
   dspace::DesignSpace space(k);
   graphgen::ProgramGraph g = graphgen::build_graph(k, space);
   hlssim::DesignConfig cfg =
@@ -117,7 +202,7 @@ int cmd_graph(const cli::Args& args) {
 int cmd_gen_db(const cli::Args& args) {
   oracle::OracleStack oracle;
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
-  auto kernels = training_set(args.has("extension"));
+  auto kernels = training_set(args);
   const int budget = args.get_int("budget", 0);
   db::Database db =
       budget > 0 ? db::generate_initial_database(
@@ -134,7 +219,7 @@ int cmd_gen_db(const cli::Args& args) {
 
 int cmd_train(const cli::Args& args) {
   oracle::OracleStack oracle;
-  auto kernels = training_set(args.has("extension"));
+  auto kernels = training_set(args);
   db::Database db;
   if (args.has("db")) {
     db = db::Database::load_csv(args.get("db", ""));
@@ -159,10 +244,10 @@ int cmd_train(const cli::Args& args) {
 
 int cmd_dse(const cli::Args& args) {
   if (args.positional().size() < 2) return usage();
-  kir::Kernel target = kernels::make_kernel(args.positional()[1]);
+  kir::Kernel target = resolve_kernel(args.positional()[1]);
   // The stack's cache turns top-M re-evaluations into oracle.hits.
   oracle::OracleStack oracle;
-  auto kernels = training_set(args.has("extension"));
+  auto kernels = training_set(args);
   db::Database db;
   if (args.has("db")) {
     db = db::Database::load_csv(args.get("db", ""));
@@ -201,7 +286,7 @@ int cmd_dse(const cli::Args& args) {
 
 int cmd_autodse(const cli::Args& args) {
   if (args.positional().size() < 2) return usage();
-  kir::Kernel k = kernels::make_kernel(args.positional()[1]);
+  kir::Kernel k = resolve_kernel(args.positional()[1]);
   oracle::OracleStack oracle;
   const double budget = args.get_double("budget-hours", 21.0) * 3600.0;
   auto out = dse::run_autodse_baseline(k, oracle, budget);
@@ -225,9 +310,10 @@ int main(int argc, char** argv) {
   obs::ReportSession report("gnndse." + cmd, args.get("report", ""),
                             args.get("trace", ""), args.get("heartbeat", ""));
   try {
-    if (cmd == "list") return cmd_list();
+    if (cmd == "list" || cmd == "list-kernels") return cmd_list_kernels(args);
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "graph") return cmd_graph(args);
+    if (cmd == "gen-kernels") return cmd_gen_kernels(args);
     if (cmd == "gen-db") return cmd_gen_db(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "dse") return cmd_dse(args);

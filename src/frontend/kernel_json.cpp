@@ -1,0 +1,494 @@
+#include "frontend/kernel_json.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnndse::frontend {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader. The kernel format only needs objects, arrays,
+// strings, integers and booleans; anything else (floats, null, duplicate
+// keys) is rejected with a line-numbered error so authors get actionable
+// messages instead of silently-defaulted fields.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kObject, kArray, kString, kInt, kBool } type;
+  // Pairs keep file order so error messages can point at the offending key.
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+  std::string str;
+  std::int64_t num = 0;
+  bool boolean = false;
+  int line = 0;  // 1-based line the value started on
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after the top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::invalid_argument("kernel json, line " + std::to_string(line_) +
+                                ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    JsonValue v;
+    v.line = line_;
+    if (c == '{') {
+      v.type = JsonValue::Type::kObject;
+      ++pos_;
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        JsonValue key = string_value();
+        expect(':');
+        for (const auto& kv : v.object)
+          if (kv.first == key.str) fail("duplicate key \"" + key.str + "\"");
+        v.object.emplace_back(key.str, value());
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.type = JsonValue::Type::kArray;
+      ++pos_;
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.array.push_back(value());
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') {
+      v.type = JsonValue::Type::kBool;
+      const char* word = c == 't' ? "true" : "false";
+      for (const char* p = word; *p; ++p, ++pos_)
+        if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      v.boolean = c == 't';
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      v.type = JsonValue::Type::kInt;
+      const std::size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E'))
+        fail("kernel fields are integers; got a float");
+      if (pos_ == start + (c == '-' ? 1u : 0u)) fail("bad number");
+      v.num = std::stoll(text_.substr(start, pos_ - start));
+      return v;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    v.line = line_;
+    expect('"');
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\n') fail("newline inside string");
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        if (e == '"' || e == '\\' || e == '/')
+          v.str += e;
+        else if (e == 'n')
+          v.str += '\n';
+        else
+          fail("unsupported escape sequence");
+        continue;
+      }
+      v.str += c;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// JSON -> kir::Kernel, with strict unknown-key rejection.
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void fail_at(const JsonValue& v, const std::string& msg) {
+  throw std::invalid_argument("kernel json, line " + std::to_string(v.line) +
+                              ": " + msg);
+}
+
+const JsonValue* find(const JsonValue& obj, const std::string& key) {
+  for (const auto& kv : obj.object)
+    if (kv.first == key) return &kv.second;
+  return nullptr;
+}
+
+void check_keys(const JsonValue& obj, std::initializer_list<const char*> keys,
+                const char* what) {
+  for (const auto& kv : obj.object) {
+    bool known = false;
+    for (const char* k : keys)
+      if (kv.first == k) known = true;
+    if (!known)
+      fail_at(kv.second, std::string("unknown ") + what + " key \"" +
+                             kv.first + "\"");
+  }
+}
+
+const JsonValue& require(const JsonValue& obj, const std::string& key,
+                         JsonValue::Type type, const char* what) {
+  const JsonValue* v = find(obj, key);
+  if (!v) fail_at(obj, std::string(what) + " is missing \"" + key + "\"");
+  if (v->type != type)
+    fail_at(*v, std::string(what) + " key \"" + key + "\" has the wrong type");
+  return *v;
+}
+
+std::int64_t get_int(const JsonValue& obj, const std::string& key,
+                     std::int64_t fallback) {
+  const JsonValue* v = find(obj, key);
+  if (!v) return fallback;
+  if (v->type != JsonValue::Type::kInt) fail_at(*v, "\"" + key + "\" must be an integer");
+  return v->num;
+}
+
+bool get_bool(const JsonValue& obj, const std::string& key, bool fallback) {
+  const JsonValue* v = find(obj, key);
+  if (!v) return fallback;
+  if (v->type != JsonValue::Type::kBool) fail_at(*v, "\"" + key + "\" must be a boolean");
+  return v->boolean;
+}
+
+std::vector<std::int64_t> get_int_list(const JsonValue& obj,
+                                       const std::string& key) {
+  const JsonValue* v = find(obj, key);
+  std::vector<std::int64_t> out;
+  if (!v) return out;
+  if (v->type != JsonValue::Type::kArray)
+    fail_at(*v, "\"" + key + "\" must be an array of integers");
+  for (const JsonValue& e : v->array) {
+    if (e.type != JsonValue::Type::kInt)
+      fail_at(e, "\"" + key + "\" must contain integers only");
+    out.push_back(e.num);
+  }
+  return out;
+}
+
+kir::AccessKind parse_kind(const JsonValue& v) {
+  if (v.type != JsonValue::Type::kString) fail_at(v, "\"kind\" must be a string");
+  if (v.str == "sequential") return kir::AccessKind::kSequential;
+  if (v.str == "strided") return kir::AccessKind::kStrided;
+  if (v.str == "indirect") return kir::AccessKind::kIndirect;
+  if (v.str == "broadcast") return kir::AccessKind::kBroadcast;
+  fail_at(v, "unknown access kind \"" + v.str +
+                 "\" (want sequential|strided|indirect|broadcast)");
+}
+
+const char* kind_name(kir::AccessKind k) {
+  switch (k) {
+    case kir::AccessKind::kSequential:
+      return "sequential";
+    case kir::AccessKind::kStrided:
+      return "strided";
+    case kir::AccessKind::kIndirect:
+      return "indirect";
+    case kir::AccessKind::kBroadcast:
+      return "broadcast";
+  }
+  return "sequential";
+}
+
+kir::Kernel kernel_from_json(const JsonValue& root) {
+  if (root.type != JsonValue::Type::kObject)
+    fail_at(root, "top level must be an object");
+  check_keys(root, {"name", "num_functions", "arrays", "loops", "stmts"},
+             "kernel");
+  kir::Kernel k;
+  k.name = require(root, "name", JsonValue::Type::kString, "kernel").str;
+  k.num_functions =
+      static_cast<int>(get_int(root, "num_functions", 1));
+
+  const JsonValue& arrays =
+      require(root, "arrays", JsonValue::Type::kArray, "kernel");
+  for (const JsonValue& a : arrays.array) {
+    if (a.type != JsonValue::Type::kObject) fail_at(a, "array entry must be an object");
+    check_keys(a, {"name", "num_elems", "elem_bits", "off_chip"}, "array");
+    kir::Array arr;
+    arr.name = require(a, "name", JsonValue::Type::kString, "array").str;
+    arr.num_elems = require(a, "num_elems", JsonValue::Type::kInt, "array").num;
+    arr.elem_bits = static_cast<int>(get_int(a, "elem_bits", 32));
+    arr.off_chip = get_bool(a, "off_chip", true);
+    k.arrays.push_back(std::move(arr));
+  }
+
+  const JsonValue& loops =
+      require(root, "loops", JsonValue::Type::kArray, "kernel");
+  bool any_function_key = false;
+  std::vector<int> functions;
+  for (const JsonValue& l : loops.array) {
+    if (l.type != JsonValue::Type::kObject) fail_at(l, "loop entry must be an object");
+    check_keys(l,
+               {"name", "trip_count", "parent", "function", "pipeline",
+                "parallel", "tile"},
+               "loop");
+    kir::Loop loop;
+    loop.name = require(l, "name", JsonValue::Type::kString, "loop").str;
+    loop.trip_count = require(l, "trip_count", JsonValue::Type::kInt, "loop").num;
+    loop.parent = static_cast<int>(get_int(l, "parent", -1));
+    loop.can_pipeline = get_bool(l, "pipeline", false);
+    loop.parallel_options = get_int_list(l, "parallel");
+    loop.can_parallel = !loop.parallel_options.empty();
+    loop.tile_options = get_int_list(l, "tile");
+    loop.can_tile = !loop.tile_options.empty();
+    if (find(l, "function")) any_function_key = true;
+    functions.push_back(static_cast<int>(get_int(l, "function", 0)));
+    const int id = static_cast<int>(k.loops.size());
+    if (loop.parent == -1) {
+      k.top_loops.push_back(id);
+    } else {
+      if (loop.parent < 0 || loop.parent >= id)
+        fail_at(l, "loop \"" + loop.name +
+                       "\" parent must reference an earlier loop index");
+      k.loops[static_cast<std::size_t>(loop.parent)].children.push_back(id);
+    }
+    k.loops.push_back(std::move(loop));
+  }
+  // loop_function stays empty unless the file mentions it: an empty vector
+  // and an all-zero vector hash differently in oracle::kernel_digest.
+  if (any_function_key) k.loop_function = std::move(functions);
+
+  const JsonValue& stmts =
+      require(root, "stmts", JsonValue::Type::kArray, "kernel");
+  for (const JsonValue& s : stmts.array) {
+    if (s.type != JsonValue::Type::kObject) fail_at(s, "stmt entry must be an object");
+    check_keys(s, {"name", "loop", "ops", "accesses", "dep"}, "stmt");
+    kir::Stmt st;
+    st.name = require(s, "name", JsonValue::Type::kString, "stmt").str;
+    st.parent_loop = static_cast<int>(require(s, "loop", JsonValue::Type::kInt, "stmt").num);
+    if (const JsonValue* ops = find(s, "ops")) {
+      if (ops->type != JsonValue::Type::kObject) fail_at(*ops, "\"ops\" must be an object");
+      check_keys(*ops, {"adds", "muls", "divs", "cmps", "logic", "specials"},
+                 "ops");
+      st.ops.adds = static_cast<int>(get_int(*ops, "adds", 0));
+      st.ops.muls = static_cast<int>(get_int(*ops, "muls", 0));
+      st.ops.divs = static_cast<int>(get_int(*ops, "divs", 0));
+      st.ops.cmps = static_cast<int>(get_int(*ops, "cmps", 0));
+      st.ops.logic = static_cast<int>(get_int(*ops, "logic", 0));
+      st.ops.specials = static_cast<int>(get_int(*ops, "specials", 0));
+    }
+    if (const JsonValue* accs = find(s, "accesses")) {
+      if (accs->type != JsonValue::Type::kArray)
+        fail_at(*accs, "\"accesses\" must be an array");
+      for (const JsonValue& a : accs->array) {
+        if (a.type != JsonValue::Type::kObject)
+          fail_at(a, "access entry must be an object");
+        check_keys(a, {"array", "write", "kind", "driving_loop"}, "access");
+        kir::ArrayAccess acc;
+        acc.array = static_cast<int>(
+            require(a, "array", JsonValue::Type::kInt, "access").num);
+        acc.is_write = get_bool(a, "write", false);
+        if (const JsonValue* kind = find(a, "kind")) acc.kind = parse_kind(*kind);
+        acc.driving_loop = static_cast<int>(get_int(a, "driving_loop", -1));
+        st.accesses.push_back(acc);
+      }
+    }
+    if (const JsonValue* dep = find(s, "dep")) {
+      if (dep->type != JsonValue::Type::kObject) fail_at(*dep, "\"dep\" must be an object");
+      check_keys(*dep, {"loop", "distance", "latency", "associative"}, "dep");
+      st.dep_loop = static_cast<int>(
+          require(*dep, "loop", JsonValue::Type::kInt, "dep").num);
+      st.dep_distance = static_cast<int>(get_int(*dep, "distance", 1));
+      st.dep_latency = static_cast<int>(get_int(*dep, "latency", 1));
+      st.dep_associative = get_bool(*dep, "associative", true);
+    }
+    const int id = static_cast<int>(k.stmts.size());
+    if (st.parent_loop < 0 ||
+        static_cast<std::size_t>(st.parent_loop) >= k.loops.size())
+      fail_at(s, "stmt \"" + st.name + "\" has an out-of-range loop index");
+    k.loops[static_cast<std::size_t>(st.parent_loop)].stmts.push_back(id);
+    k.stmts.push_back(std::move(st));
+  }
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Serializer. Byte-deterministic: fixed key order, defaults omitted, 2-space
+// indent. Omitting defaults is round-trip safe because the parser fills the
+// same defaults back in.
+// ---------------------------------------------------------------------------
+
+void append_int_list(std::ostringstream& os, const char* key,
+                     const std::vector<std::int64_t>& v) {
+  os << ", \"" << key << "\": [";
+  for (std::size_t i = 0; i < v.size(); ++i)
+    os << (i ? "," : "") << v[i];
+  os << "]";
+}
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string serialize_kernel(const kir::Kernel& k) {
+  std::ostringstream os;
+  os << "{\n  \"name\": ";
+  append_escaped(os, k.name);
+  os << ",\n  \"num_functions\": " << k.num_functions;
+  os << ",\n  \"arrays\": [";
+  for (std::size_t i = 0; i < k.arrays.size(); ++i) {
+    const kir::Array& a = k.arrays[i];
+    os << (i ? ",\n" : "\n") << "    {\"name\": ";
+    append_escaped(os, a.name);
+    os << ", \"num_elems\": " << a.num_elems
+       << ", \"elem_bits\": " << a.elem_bits
+       << ", \"off_chip\": " << (a.off_chip ? "true" : "false") << "}";
+  }
+  os << "\n  ],\n  \"loops\": [";
+  for (std::size_t i = 0; i < k.loops.size(); ++i) {
+    const kir::Loop& l = k.loops[i];
+    os << (i ? ",\n" : "\n") << "    {\"name\": ";
+    append_escaped(os, l.name);
+    os << ", \"trip_count\": " << l.trip_count << ", \"parent\": " << l.parent;
+    if (!k.loop_function.empty())
+      os << ", \"function\": " << k.loop_function[i];
+    if (l.can_pipeline) os << ", \"pipeline\": true";
+    if (l.can_parallel) append_int_list(os, "parallel", l.parallel_options);
+    if (l.can_tile) append_int_list(os, "tile", l.tile_options);
+    os << "}";
+  }
+  os << "\n  ],\n  \"stmts\": [";
+  for (std::size_t i = 0; i < k.stmts.size(); ++i) {
+    const kir::Stmt& s = k.stmts[i];
+    os << (i ? ",\n" : "\n") << "    {\"name\": ";
+    append_escaped(os, s.name);
+    os << ", \"loop\": " << s.parent_loop;
+    if (s.ops.total() > 0) {
+      os << ", \"ops\": {";
+      bool first = true;
+      auto field = [&](const char* key, int v) {
+        if (v == 0) return;
+        os << (first ? "" : ", ") << "\"" << key << "\": " << v;
+        first = false;
+      };
+      field("adds", s.ops.adds);
+      field("muls", s.ops.muls);
+      field("divs", s.ops.divs);
+      field("cmps", s.ops.cmps);
+      field("logic", s.ops.logic);
+      field("specials", s.ops.specials);
+      os << "}";
+    }
+    if (!s.accesses.empty()) {
+      os << ", \"accesses\": [";
+      for (std::size_t j = 0; j < s.accesses.size(); ++j) {
+        const kir::ArrayAccess& a = s.accesses[j];
+        os << (j ? ", " : "") << "{\"array\": " << a.array;
+        if (a.is_write) os << ", \"write\": true";
+        os << ", \"kind\": \"" << kind_name(a.kind) << "\""
+           << ", \"driving_loop\": " << a.driving_loop << "}";
+      }
+      os << "]";
+    }
+    if (s.dep_loop != -1) {
+      os << ", \"dep\": {\"loop\": " << s.dep_loop
+         << ", \"distance\": " << s.dep_distance
+         << ", \"latency\": " << s.dep_latency << ", \"associative\": "
+         << (s.dep_associative ? "true" : "false") << "}";
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+kir::Kernel parse_kernel(const std::string& json_text) {
+  JsonReader reader(json_text);
+  kir::Kernel k = kernel_from_json(reader.parse());
+  kir::validate(k);
+  return k;
+}
+
+kir::Kernel load_kernel_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("cannot read kernel file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_kernel(buf.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+void save_kernel_file(const kir::Kernel& k, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write kernel file: " + path);
+  out << serialize_kernel(k);
+  if (!out) throw std::runtime_error("short write to kernel file: " + path);
+}
+
+bool looks_like_kernel_file(const std::string& s) {
+  if (s.find('/') != std::string::npos) return true;
+  return s.size() > 5 && s.compare(s.size() - 5, 5, ".json") == 0;
+}
+
+}  // namespace gnndse::frontend

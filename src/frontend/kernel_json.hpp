@@ -1,0 +1,62 @@
+// Text frontend for the kernel IR: a JSON loop-nest description format that
+// round-trips kir::Kernel exactly.
+//
+// The format mirrors the IR one-to-one (arrays / loops / stmts plus pragma
+// sites); forest structure is given by per-loop `parent` and per-stmt `loop`
+// indices, and the derived lists (`Loop::children`, `Loop::stmts`,
+// `Kernel::top_loops`) are reconstructed in index order — the same order the
+// KernelBuilder produces — so a serialize → parse round-trip preserves
+// oracle::kernel_digest bit-for-bit and the persistent oracle cache keeps
+// matching entries written against the hand-coded kernel.
+//
+//   {
+//     "name": "gemm-ncubed",
+//     "num_functions": 1,
+//     "arrays": [ {"name":"A","num_elems":4096,"elem_bits":32,
+//                  "off_chip":true} ],
+//     "loops":  [ {"name":"i","trip_count":64,"parent":-1,"function":0,
+//                  "pipeline":true,"parallel":[1,2,4],"tile":[1,8]} ],
+//     "stmts":  [ {"name":"mac","loop":2,
+//                  "ops":{"adds":1,"muls":1},
+//                  "accesses":[{"array":0,"write":false,
+//                               "kind":"sequential","driving_loop":2}],
+//                  "dep":{"loop":2,"distance":1,"latency":4,
+//                         "associative":true}} ]
+//   }
+//
+// Omitted fields take the struct defaults ("pipeline" false, "ops" counts 0,
+// "dep" absent = no recurrence). `kind` is one of sequential | strided |
+// indirect | broadcast. Every parsed kernel is passed through
+// kir::validate() before it is returned, so a malformed file fails loudly
+// instead of producing garbage cycles downstream. See docs/kernels.md.
+#pragma once
+
+#include <string>
+
+#include "kir/kernel.hpp"
+
+namespace gnndse::frontend {
+
+/// Serializes a kernel to the canonical JSON text form (deterministic byte
+/// output: fixed key order, 2-space indent, '\n' line ends) so fixed-seed
+/// generator runs produce byte-identical files.
+std::string serialize_kernel(const kir::Kernel& k);
+
+/// Parses a kernel from JSON text; validates before returning. Throws
+/// std::invalid_argument with a line-annotated message on syntax errors,
+/// unknown keys/kinds, or IR-validation failures.
+kir::Kernel parse_kernel(const std::string& json_text);
+
+/// Reads and parses `path`; the error message names the file. Throws
+/// std::invalid_argument on unreadable files and parse/validation errors.
+kir::Kernel load_kernel_file(const std::string& path);
+
+/// Writes serialize_kernel(k) to `path`; throws std::runtime_error when the
+/// file cannot be written.
+void save_kernel_file(const kir::Kernel& k, const std::string& path);
+
+/// True when `s` names a kernel file rather than a registry entry: ends in
+/// ".json" or contains a path separator.
+bool looks_like_kernel_file(const std::string& s);
+
+}  // namespace gnndse::frontend

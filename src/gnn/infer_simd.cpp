@@ -6,6 +6,12 @@
 // mul/add so every level produces identical bits.
 #include "gnn/infer_simd.hpp"
 
+#include <atomic>
+#include <mutex>
+
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #define GNNDSE_X86 1
@@ -196,6 +202,82 @@ __attribute__((target("avx2"))) void edge_attention_scores_avx2(
       acc = _mm256_add_ps(acc, _mm256_mul_ps(qv, _mm256_add_ps(kv, ev)));
     }
     _mm256_storeu_ps(op + i, _mm256_mul_ps(acc, _mm256_set1_ps(scale)));
+  }
+  edge_attention_scores_scalar(qp, kp, ep, src, dst, d, scale, op, i, end);
+}
+
+// Gather-free edge_attention: per 8-edge block, walk d in 8-column chunks.
+// Each edge contributes one vector of products per chunk (three unaligned
+// row loads, mul, add — contiguous, no gathers); an in-register 8x8
+// transpose then turns "edge-major products" into "column-major products"
+// so one acc vector can accumulate all 8 edges with each lane adding its
+// edge's columns in ascending-j order — the same order as the scalar body,
+// hence bit-identical. The j-remainder finishes per lane in scalar from
+// the spilled acc; the edge remainder falls through to the scalar body.
+__attribute__((target("avx2"))) void edge_attention_scores_avx2_transpose(
+    const float* qp, const float* kp, const float* ep, const std::int32_t* src,
+    const std::int32_t* dst, std::int64_t d, float scale, float* op,
+    std::int64_t begin, std::int64_t end) {
+  std::int64_t i = begin;
+  for (; i + 8 <= end; i += 8) {
+    const float* qrow[8];
+    const float* krow[8];
+    const float* erow[8];
+    for (int e = 0; e < 8; ++e) {
+      qrow[e] = qp + static_cast<std::int64_t>(dst[i + e]) * d;
+      krow[e] = kp + static_cast<std::int64_t>(src[i + e]) * d;
+      erow[e] = ep + (i + e) * d;
+    }
+    __m256 acc = _mm256_setzero_ps();
+    std::int64_t j = 0;
+    for (; j + 8 <= d; j += 8) {
+      __m256 p[8];
+      for (int e = 0; e < 8; ++e)
+        p[e] = _mm256_mul_ps(_mm256_loadu_ps(qrow[e] + j),
+                             _mm256_add_ps(_mm256_loadu_ps(krow[e] + j),
+                                           _mm256_loadu_ps(erow[e] + j)));
+      // 8x8 transpose (unpack / shuffle / permute2f128): t[c] lane e ends
+      // up holding edge e's product for column j+c.
+      const __m256 s0 = _mm256_unpacklo_ps(p[0], p[1]);
+      const __m256 s1 = _mm256_unpackhi_ps(p[0], p[1]);
+      const __m256 s2 = _mm256_unpacklo_ps(p[2], p[3]);
+      const __m256 s3 = _mm256_unpackhi_ps(p[2], p[3]);
+      const __m256 s4 = _mm256_unpacklo_ps(p[4], p[5]);
+      const __m256 s5 = _mm256_unpackhi_ps(p[4], p[5]);
+      const __m256 s6 = _mm256_unpacklo_ps(p[6], p[7]);
+      const __m256 s7 = _mm256_unpackhi_ps(p[6], p[7]);
+      const __m256 u0 = _mm256_shuffle_ps(s0, s2, _MM_SHUFFLE(1, 0, 1, 0));
+      const __m256 u1 = _mm256_shuffle_ps(s0, s2, _MM_SHUFFLE(3, 2, 3, 2));
+      const __m256 u2 = _mm256_shuffle_ps(s1, s3, _MM_SHUFFLE(1, 0, 1, 0));
+      const __m256 u3 = _mm256_shuffle_ps(s1, s3, _MM_SHUFFLE(3, 2, 3, 2));
+      const __m256 u4 = _mm256_shuffle_ps(s4, s6, _MM_SHUFFLE(1, 0, 1, 0));
+      const __m256 u5 = _mm256_shuffle_ps(s4, s6, _MM_SHUFFLE(3, 2, 3, 2));
+      const __m256 u6 = _mm256_shuffle_ps(s5, s7, _MM_SHUFFLE(1, 0, 1, 0));
+      const __m256 u7 = _mm256_shuffle_ps(s5, s7, _MM_SHUFFLE(3, 2, 3, 2));
+      __m256 t[8];
+      t[0] = _mm256_permute2f128_ps(u0, u4, 0x20);
+      t[1] = _mm256_permute2f128_ps(u1, u5, 0x20);
+      t[2] = _mm256_permute2f128_ps(u2, u6, 0x20);
+      t[3] = _mm256_permute2f128_ps(u3, u7, 0x20);
+      t[4] = _mm256_permute2f128_ps(u0, u4, 0x31);
+      t[5] = _mm256_permute2f128_ps(u1, u5, 0x31);
+      t[6] = _mm256_permute2f128_ps(u2, u6, 0x31);
+      t[7] = _mm256_permute2f128_ps(u3, u7, 0x31);
+      // Ascending column order = ascending-j adds in every lane.
+      for (int c = 0; c < 8; ++c) acc = _mm256_add_ps(acc, t[c]);
+    }
+    if (j < d) {
+      alignas(32) float accs[8];
+      _mm256_store_ps(accs, acc);
+      for (int e = 0; e < 8; ++e) {
+        float a = accs[e];
+        for (std::int64_t r = j; r < d; ++r)
+          a += qrow[e][r] * (krow[e][r] + erow[e][r]);
+        op[i + e] = a * scale;
+      }
+    } else {
+      _mm256_storeu_ps(op + i, _mm256_mul_ps(acc, _mm256_set1_ps(scale)));
+    }
   }
   edge_attention_scores_scalar(qp, kp, ep, src, dst, d, scale, op, i, end);
 }
@@ -394,7 +476,39 @@ __attribute__((target("avx512f"))) void residual_concat_avx512(
 
 #endif  // GNNDSE_X86
 
+std::atomic<int> g_edge_attn{-1};  // -1 = not yet resolved
+std::once_flag g_edge_attn_once;
+
 }  // namespace
+
+EdgeAttnVariant edge_attn_variant() {
+  int v = g_edge_attn.load(std::memory_order_relaxed);
+  if (v < 0) {
+    std::call_once(g_edge_attn_once, [] {
+      const std::string req = util::env_str("GNNDSE_EDGE_ATTN", "gather");
+      EdgeAttnVariant var = EdgeAttnVariant::kGather;
+      if (req == "transpose") {
+        var = EdgeAttnVariant::kTranspose;
+      } else if (req != "gather") {
+        util::log_warn("GNNDSE_EDGE_ATTN=", req,
+                       " not recognized (gather|transpose); using gather");
+      }
+      g_edge_attn.store(static_cast<int>(var), std::memory_order_relaxed);
+    });
+    v = g_edge_attn.load(std::memory_order_relaxed);
+  }
+  return static_cast<EdgeAttnVariant>(v);
+}
+
+EdgeAttnVariant set_edge_attn_variant(EdgeAttnVariant v) {
+  edge_attn_variant();  // make sure env resolution never overwrites us later
+  g_edge_attn.store(static_cast<int>(v), std::memory_order_relaxed);
+  return v;
+}
+
+const char* edge_attn_variant_name(EdgeAttnVariant v) {
+  return v == EdgeAttnVariant::kTranspose ? "transpose" : "gather";
+}
 
 // ---------------------------------------------------------------------------
 // Dispatch. On non-x86 every level maps to scalar.
@@ -449,9 +563,13 @@ void edge_attention_scores_range(SimdLevel level, const float* qp,
   if (level == SimdLevel::kAvx512)
     return edge_attention_scores_avx512(qp, kp, ep, src, dst, d, scale, op,
                                         begin, end);
-  if (level == SimdLevel::kAvx2)
+  if (level == SimdLevel::kAvx2) {
+    if (edge_attn_variant() == EdgeAttnVariant::kTranspose)
+      return edge_attention_scores_avx2_transpose(qp, kp, ep, src, dst, d,
+                                                  scale, op, begin, end);
     return edge_attention_scores_avx2(qp, kp, ep, src, dst, d, scale, op,
                                       begin, end);
+  }
 #else
   (void)level;
 #endif

@@ -1,0 +1,220 @@
+#include "kernels/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace gnndse::kernels {
+namespace {
+
+using kir::AccessKind;
+using kir::ArrayAccess;
+using kir::KernelBuilder;
+using kir::OpMix;
+
+/// A power of two in [lo, hi] (both clamped to >= 1), uniform over the
+/// available exponents. Powers of two keep candidate_factors() lists rich.
+std::int64_t pow2_between(util::Rng& rng, std::int64_t lo, std::int64_t hi) {
+  lo = std::max<std::int64_t>(1, lo);
+  hi = std::max(lo, hi);
+  int lo_exp = 0;
+  while ((std::int64_t{1} << lo_exp) < lo) ++lo_exp;
+  int hi_exp = lo_exp;
+  while (hi_exp < 62 && (std::int64_t{1} << (hi_exp + 1)) <= hi) ++hi_exp;
+  return std::int64_t{1} << rng.uniform_int(static_cast<std::int64_t>(lo_exp),
+                                            static_cast<std::int64_t>(hi_exp));
+}
+
+}  // namespace
+
+kir::Kernel generate(const GeneratorConfig& cfg, std::uint64_t seed) {
+  if (cfg.min_loops < 1 || cfg.max_loops < cfg.min_loops)
+    throw std::invalid_argument("generator: bad loop count range");
+  if (cfg.max_depth < 1) throw std::invalid_argument("generator: max_depth < 1");
+  if (cfg.min_arrays < 1 || cfg.max_arrays < cfg.min_arrays)
+    throw std::invalid_argument("generator: bad array count range");
+  if (cfg.min_trip < 1 || cfg.max_trip < cfg.min_trip)
+    throw std::invalid_argument("generator: bad trip count range");
+  if (cfg.max_stmts_per_loop < 1)
+    throw std::invalid_argument("generator: max_stmts_per_loop < 1");
+
+  util::Rng rng(seed);
+  KernelBuilder b(cfg.name_prefix + "-s" + std::to_string(seed));
+
+  // Arrays. One extra index array is appended lazily if any access comes
+  // out indirect, mirroring how spmv/md-knn carry their neighbor lists.
+  const int num_arrays = static_cast<int>(
+      rng.uniform_int(cfg.min_arrays, cfg.max_arrays));
+  std::vector<int> arrays;
+  for (int a = 0; a < num_arrays; ++a) {
+    std::int64_t elems = pow2_between(rng, 64, cfg.max_array_elems);
+    const bool off_chip = rng.bernoulli(cfg.off_chip_probability);
+    // Scratchpads burn BRAM from cycle zero; keep them lookup-table sized
+    // (like aes' sbox) so the neutral design never starts over budget.
+    if (!off_chip) elems = std::min<std::int64_t>(elems, 4096);
+    arrays.push_back(b.add_array("a" + std::to_string(a), elems, off_chip));
+  }
+  // Index array for gathers: spmv/md-knn style a[idx[i]] accesses read the
+  // subscript stream sequentially and the data array indirectly.
+  const int index_array =
+      b.add_array("idx", pow2_between(rng, 64, cfg.max_trip * 4), true, 32);
+
+  // Loop forest: each new loop nests under a random existing loop that has
+  // room (depth < max_depth), or opens a new top-level nest. Appending
+  // keeps parents before children, which kir::validate() requires.
+  const int num_loops = static_cast<int>(
+      rng.uniform_int(cfg.min_loops, cfg.max_loops));
+  std::vector<int> loops;
+  std::vector<int> depth;  // 1-based
+  for (int l = 0; l < num_loops; ++l) {
+    std::vector<int> candidates;
+    for (std::size_t i = 0; i < loops.size(); ++i)
+      if (depth[i] < cfg.max_depth) candidates.push_back(loops[i]);
+    int parent = -1;
+    int d = 1;
+    // Bias toward nesting: flat forests make trivially pipelined kernels.
+    if (!candidates.empty() && rng.bernoulli(0.75)) {
+      parent = candidates[static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(candidates.size())))];
+      d = depth[static_cast<std::size_t>(
+              std::find(loops.begin(), loops.end(), parent) -
+              loops.begin())] +
+          1;
+    }
+    const std::int64_t trip = pow2_between(rng, cfg.min_trip, cfg.max_trip);
+    loops.push_back(b.begin_loop("L" + std::to_string(l), trip, parent));
+    depth.push_back(d);
+  }
+
+  // Statements: every innermost loop gets at least one; outer loops
+  // occasionally get a prologue/epilogue statement (like mvt's x-store or
+  // md-knn's force_store).
+  auto push_random_access = [&](std::vector<ArrayAccess>& out, int loop,
+                                bool is_write) {
+    AccessKind kind = AccessKind::kSequential;
+    if (!is_write) {
+      const double r = rng.uniform();
+      if (r < cfg.indirect_probability)
+        kind = AccessKind::kIndirect;
+      else if (r < cfg.indirect_probability + cfg.strided_probability)
+        kind = AccessKind::kStrided;
+      else if (r < cfg.indirect_probability + cfg.strided_probability + 0.1)
+        kind = AccessKind::kBroadcast;
+    }
+    const int arr = arrays[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(arrays.size())))];
+    const int driving = kind == AccessKind::kBroadcast ? -1 : loop;
+    if (kind == AccessKind::kIndirect)
+      out.push_back(
+          ArrayAccess{index_array, false, AccessKind::kSequential, loop});
+    out.push_back(ArrayAccess{arr, is_write, kind, driving});
+  };
+  int stmt_id = 0;
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const bool innermost = b.loop(loops[i]).children.empty();
+    int n_stmts = 0;
+    if (innermost)
+      n_stmts = static_cast<int>(
+          rng.uniform_int(1, std::max(1, cfg.max_stmts_per_loop)));
+    else if (rng.bernoulli(0.2))
+      n_stmts = 1;
+    for (int s = 0; s < n_stmts; ++s) {
+      OpMix ops;
+      ops.adds = static_cast<int>(rng.uniform_int(0, 4));
+      ops.muls = static_cast<int>(rng.uniform_int(0, 3));
+      ops.cmps = static_cast<int>(rng.uniform_int(0, 2));
+      if (rng.bernoulli(0.15)) ops.logic = static_cast<int>(rng.uniform_int(1, 6));
+      if (rng.bernoulli(0.08)) ops.divs = 1;
+      if (rng.bernoulli(0.05)) ops.specials = 1;
+      if (ops.total() == 0) ops.adds = 1;
+
+      std::vector<ArrayAccess> accesses;
+      const int n_reads = static_cast<int>(rng.uniform_int(1, 3));
+      for (int r = 0; r < n_reads; ++r)
+        push_random_access(accesses, loops[i], false);
+      if (rng.bernoulli(0.7))
+        push_random_access(accesses, loops[i], true);
+
+      const int id = b.add_stmt(loops[i], "s" + std::to_string(stmt_id++),
+                                ops, std::move(accesses));
+      if (rng.bernoulli(cfg.dep_probability)) {
+        // Recurrence carried on the statement's loop or an enclosing one.
+        std::vector<int> chain{loops[i]};
+        for (int cur = b.loop(loops[i]).parent; cur != -1;
+             cur = b.loop(cur).parent)
+          chain.push_back(cur);
+        const int dep_loop = chain[static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(chain.size())))];
+        const int distance = static_cast<int>(rng.uniform_int(1, 2));
+        const int latency = static_cast<int>(rng.uniform_int(2, 8));
+        b.set_recurrence(id, dep_loop, distance, latency,
+                         /*associative=*/rng.bernoulli(0.7));
+      }
+    }
+  }
+  // Pragma sites. Tiling only on loops that contain other loops (tiling an
+  // innermost loop is what parallel already expresses under Merlin).
+  int sites = 0;
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    kir::Loop& l = b.loop(loops[i]);
+    if (rng.bernoulli(cfg.pragma_density)) {
+      l.can_pipeline = true;
+      ++sites;
+    }
+    if (rng.bernoulli(cfg.pragma_density)) {
+      l.can_parallel = true;
+      l.parallel_options =
+          kir::candidate_factors(l.trip_count, cfg.max_parallel_factor);
+      ++sites;
+    }
+    if (!l.children.empty() && rng.bernoulli(cfg.pragma_density * 0.5)) {
+      l.can_tile = true;
+      l.tile_options = kir::candidate_factors(
+          l.trip_count, std::min<std::int64_t>(8, l.trip_count), true);
+      ++sites;
+    }
+  }
+  if (sites == 0) {
+    // Guarantee a non-trivial design space.
+    kir::Loop& l = b.loop(loops.back());
+    l.can_pipeline = true;
+    l.can_parallel = true;
+    l.parallel_options =
+        kir::candidate_factors(l.trip_count, cfg.max_parallel_factor);
+  }
+
+  kir::Kernel k = b.build();
+
+  // Drop arrays no access ended up referencing: graphgen treats an
+  // accessless array node as an isolated-node error, and real kernels have
+  // no unused interface arrays either. Indices are remapped in place.
+  std::vector<bool> used(k.arrays.size(), false);
+  for (const kir::Stmt& st : k.stmts)
+    for (const kir::ArrayAccess& a : st.accesses)
+      used[static_cast<std::size_t>(a.array)] = true;
+  std::vector<int> remap(k.arrays.size(), -1);
+  std::vector<kir::Array> kept;
+  for (std::size_t a = 0; a < k.arrays.size(); ++a) {
+    if (!used[a]) continue;
+    remap[a] = static_cast<int>(kept.size());
+    kept.push_back(k.arrays[a]);
+  }
+  k.arrays = std::move(kept);
+  for (kir::Stmt& st : k.stmts)
+    for (kir::ArrayAccess& a : st.accesses)
+      a.array = remap[static_cast<std::size_t>(a.array)];
+  kir::validate(k);
+  return k;
+}
+
+std::vector<kir::Kernel> generate_batch(const GeneratorConfig& cfg,
+                                        std::uint64_t base_seed, int count) {
+  std::vector<kir::Kernel> out;
+  out.reserve(static_cast<std::size_t>(std::max(0, count)));
+  for (int i = 0; i < count; ++i)
+    out.push_back(generate(cfg, base_seed + static_cast<std::uint64_t>(i)));
+  return out;
+}
+
+}  // namespace gnndse::kernels

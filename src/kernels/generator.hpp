@@ -1,0 +1,65 @@
+// Seeded random kernel generator — mints deterministic, valid loop-nest
+// kernels so datasets are no longer capped at the 19 hand-coded benchmarks.
+//
+// Every structural choice (nest shape, trip counts, op mixes, access kinds,
+// loop-carried recurrences, pragma-site placement) is drawn from one
+// util::Rng stream seeded explicitly, so the same (config, seed) pair
+// always produces a bit-identical kir::Kernel — and, through the canonical
+// serializer in src/frontend/, a byte-identical .json file. Generated
+// kernels pass kir::validate() by construction (KernelBuilder::build()
+// validates) and carry the seed in their name ("<prefix>-s<seed>"), which
+// keeps oracle::kernel_digest distinct across seeds.
+//
+// The knobs mirror what the DAC'22 suite varies across benchmarks:
+// MachSuite/Polybench kernels are 2-4 deep nests of 8..512-trip loops with
+// 1-3 statements, mostly-sequential accesses with occasional
+// indirect/strided ones, and recurrences on reduction loops. See
+// docs/kernels.md for the full knob table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kir/kernel.hpp"
+
+namespace gnndse::kernels {
+
+struct GeneratorConfig {
+  // -- structure ----------------------------------------------------------
+  int min_loops = 2;   ///< loops per kernel, inclusive range
+  int max_loops = 6;
+  int max_depth = 3;   ///< deepest allowed nest (top level = depth 1)
+  std::int64_t min_trip = 4;    ///< trip counts, drawn as powers of two
+  std::int64_t max_trip = 256;  ///< (clamped into [min_trip, max_trip])
+  int min_arrays = 2;
+  int max_arrays = 5;
+  std::int64_t max_array_elems = 1 << 16;
+  int max_stmts_per_loop = 2;  ///< statements per innermost loop (>= 1)
+
+  // -- statement content --------------------------------------------------
+  double dep_probability = 0.35;      ///< stmt carries a loop recurrence
+  double indirect_probability = 0.12; ///< access is a gather (vs sequential)
+  double strided_probability = 0.15;  ///< access is strided
+  double off_chip_probability = 0.7;  ///< array lives in DDR vs scratchpad
+
+  // -- pragma sites -------------------------------------------------------
+  /// Probability that a loop exposes each applicable pragma site
+  /// (pipeline / parallel / tile-on-outer-loops). At least one site is
+  /// always emitted so every generated kernel has a non-trivial design
+  /// space.
+  double pragma_density = 0.7;
+  std::int64_t max_parallel_factor = 32;
+
+  /// Kernel names are "<prefix>-s<seed>".
+  std::string name_prefix = "gen";
+};
+
+/// Deterministically generates one valid kernel from (config, seed).
+kir::Kernel generate(const GeneratorConfig& cfg, std::uint64_t seed);
+
+/// Generates `count` kernels with seeds base_seed, base_seed+1, ...
+std::vector<kir::Kernel> generate_batch(const GeneratorConfig& cfg,
+                                        std::uint64_t base_seed, int count);
+
+}  // namespace gnndse::kernels

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "kernels/kernels_extension.hpp"
+#include "kernels/registry.hpp"
 
 namespace gnndse::kernels {
 namespace {
@@ -518,23 +519,31 @@ const std::vector<std::string>& unseen_kernel_names() {
   return names;
 }
 
+namespace detail {
+
+const std::vector<NamedFactory>& builtin_factories() {
+  static const std::vector<NamedFactory> factories{
+      {"aes", make_aes},
+      {"atax", make_atax},
+      {"gemm-blocked", make_gemm_blocked},
+      {"gemm-ncubed", make_gemm_ncubed},
+      {"mvt", make_mvt},
+      {"spmv-crs", make_spmv_crs},
+      {"spmv-ellpack", make_spmv_ellpack},
+      {"stencil", make_stencil},
+      {"nw", make_nw},
+      {"bicg", make_bicg},
+      {"doitgen", make_doitgen},
+      {"gesummv", make_gesummv},
+      {"2mm", make_2mm},
+  };
+  return factories;
+}
+
+}  // namespace detail
+
 kir::Kernel make_kernel(const std::string& name) {
-  for (const auto& ext : extension_kernel_names())
-    if (name == ext) return make_extension_kernel(name);
-  if (name == "aes") return make_aes();
-  if (name == "atax") return make_atax();
-  if (name == "gemm-blocked") return make_gemm_blocked();
-  if (name == "gemm-ncubed") return make_gemm_ncubed();
-  if (name == "mvt") return make_mvt();
-  if (name == "spmv-crs") return make_spmv_crs();
-  if (name == "spmv-ellpack") return make_spmv_ellpack();
-  if (name == "stencil") return make_stencil();
-  if (name == "nw") return make_nw();
-  if (name == "bicg") return make_bicg();
-  if (name == "doitgen") return make_doitgen();
-  if (name == "gesummv") return make_gesummv();
-  if (name == "2mm") return make_2mm();
-  throw std::invalid_argument("unknown kernel: " + name);
+  return Registry::global().get(name);
 }
 
 std::vector<kir::Kernel> make_training_kernels() {

@@ -25,7 +25,10 @@ const std::vector<std::string>& training_kernel_names();
 /// Names of the four unseen kernels (Table 3 order).
 const std::vector<std::string>& unseen_kernel_names();
 
-/// Builds a kernel by name; throws std::invalid_argument for unknown names.
+/// Builds a kernel by name. Thin wrapper over Registry::global().get()
+/// (kernels/registry.hpp), so besides the compiled-in suites it also finds
+/// kernels registered from files or the generator; unknown names throw
+/// std::invalid_argument listing near-miss candidates.
 kir::Kernel make_kernel(const std::string& name);
 
 /// All training kernels, in Table 1 order.
@@ -33,5 +36,19 @@ std::vector<kir::Kernel> make_training_kernels();
 
 /// All unseen kernels, in Table 3 order.
 std::vector<kir::Kernel> make_unseen_kernels();
+
+namespace detail {
+
+/// One compiled-in kernel constructor; the tables below seed
+/// Registry::global() (kernels/registry.hpp), which owns all lookups.
+struct NamedFactory {
+  const char* name;
+  kir::Kernel (*make)();
+};
+
+/// The 13 DAC'22 kernels (9 training then 4 unseen, table order).
+const std::vector<NamedFactory>& builtin_factories();
+
+}  // namespace detail
 
 }  // namespace gnndse::kernels

@@ -8,6 +8,8 @@
 
 #include <stdexcept>
 
+#include "kernels/registry.hpp"
+
 namespace gnndse::kernels {
 namespace {
 
@@ -247,14 +249,24 @@ const std::vector<std::string>& extension_kernel_names() {
   return names;
 }
 
+namespace detail {
+
+const std::vector<NamedFactory>& extension_factories() {
+  static const std::vector<NamedFactory> factories{
+      {"gemver", make_gemver},   {"jacobi-2d", make_jacobi2d},
+      {"fdtd-2d", make_fdtd2d}, {"trmm", make_trmm},
+      {"syrk", make_syrk},       {"md-knn", make_md_knn},
+  };
+  return factories;
+}
+
+}  // namespace detail
+
 kir::Kernel make_extension_kernel(const std::string& name) {
-  if (name == "gemver") return make_gemver();
-  if (name == "jacobi-2d") return make_jacobi2d();
-  if (name == "fdtd-2d") return make_fdtd2d();
-  if (name == "trmm") return make_trmm();
-  if (name == "syrk") return make_syrk();
-  if (name == "md-knn") return make_md_knn();
-  throw std::invalid_argument("unknown extension kernel: " + name);
+  const KernelEntry e = Registry::global().entry(name);
+  if (e.provenance != Provenance::kExtension)
+    throw std::invalid_argument("unknown extension kernel: " + name);
+  return e.kernel;
 }
 
 std::vector<kir::Kernel> make_extension_kernels() {

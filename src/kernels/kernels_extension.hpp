@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/kernels.hpp"
 #include "kir/kernel.hpp"
 
 namespace gnndse::kernels {
@@ -14,9 +15,15 @@ namespace gnndse::kernels {
 /// md-knn).
 const std::vector<std::string>& extension_kernel_names();
 
-/// Builds an extension kernel by name; throws for unknown names.
+/// Builds an extension kernel by name; throws for unknown names (and for
+/// names that exist in the registry but are not extension kernels).
 kir::Kernel make_extension_kernel(const std::string& name);
 
 std::vector<kir::Kernel> make_extension_kernels();
+
+namespace detail {
+/// The 6 extension kernel constructors, declaration order.
+const std::vector<NamedFactory>& extension_factories();
+}  // namespace detail
 
 }  // namespace gnndse::kernels

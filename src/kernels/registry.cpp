@@ -1,0 +1,165 @@
+#include "kernels/registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "frontend/kernel_json.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/kernels_extension.hpp"
+
+namespace gnndse::kernels {
+namespace {
+
+/// Classic Levenshtein distance; the name sets are tiny (tens of entries),
+/// so the O(n*m) table is irrelevant.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+const char* provenance_name(Provenance p) {
+  switch (p) {
+    case Provenance::kBuiltin:
+      return "builtin";
+    case Provenance::kExtension:
+      return "extension";
+    case Provenance::kFile:
+      return "file";
+    case Provenance::kGenerated:
+      return "generated";
+  }
+  return "builtin";
+}
+
+Registry& Registry::global() {
+  static Registry* reg = [] {
+    auto* r = new Registry;
+    for (const auto& f : detail::builtin_factories())
+      r->add(f.make(), Provenance::kBuiltin);
+    for (const auto& f : detail::extension_factories())
+      r->add(f.make(), Provenance::kExtension);
+    return r;
+  }();
+  return *reg;
+}
+
+void Registry::add(kir::Kernel kernel, Provenance provenance,
+                   std::string origin) {
+  kir::validate(kernel);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = kernel.name;
+  if (entries_.find(name) == entries_.end()) order_.push_back(name);
+  entries_[name] = KernelEntry{std::move(kernel), provenance, std::move(origin)};
+}
+
+std::string Registry::add_file(const std::string& path) {
+  kir::Kernel k = frontend::load_kernel_file(path);
+  const std::string name = k.name;
+  add(std::move(k), Provenance::kFile, path);
+  return name;
+}
+
+std::vector<std::string> Registry::add_directory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec))
+    throw std::invalid_argument("kernel directory not found: " + dir);
+  std::vector<std::string> paths;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".json")
+      paths.push_back(e.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> names;
+  for (const auto& p : paths) names.push_back(add_file(p));
+  return names;
+}
+
+bool Registry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+KernelEntry Registry::entry_locked(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) return it->second;
+
+  // Build the miss message: near-miss names first (edit distance <= 1/3 of
+  // the query length, capped at 3 suggestions), then what the registry
+  // actually holds per source.
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const auto& n : order_)
+    scored.emplace_back(edit_distance(name, n), n);
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::size_t tol = std::max<std::size_t>(2, name.size() / 3);
+  std::ostringstream os;
+  os << "unknown kernel '" << name << "'";
+  bool any = false;
+  for (std::size_t i = 0; i < scored.size() && i < 3; ++i) {
+    if (scored[i].first > tol) break;
+    os << (any ? ", '" : "; did you mean '") << scored[i].second << "'";
+    any = true;
+  }
+  if (any) os << "?";
+  std::size_t counts[4] = {0, 0, 0, 0};
+  for (const auto& kv : entries_)
+    ++counts[static_cast<int>(kv.second.provenance)];
+  os << " (registry holds " << entries_.size() << " kernels:";
+  for (int p = 0; p < 4; ++p)
+    if (counts[p] > 0)
+      os << " " << counts[p] << " "
+         << provenance_name(static_cast<Provenance>(p));
+  os << "; pass a .json path to load a file kernel)";
+  throw std::invalid_argument(os.str());
+}
+
+KernelEntry Registry::entry(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entry_locked(name);
+}
+
+kir::Kernel Registry::get(const std::string& name) const {
+  return entry(name).kernel;
+}
+
+kir::Kernel Registry::resolve(const std::string& name_or_path) {
+  if (!contains(name_or_path) && frontend::looks_like_kernel_file(name_or_path))
+    return get(add_file(name_or_path));
+  return get(name_or_path);
+}
+
+std::vector<std::string> Registry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_;
+}
+
+std::vector<std::string> Registry::names(Provenance p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& n : order_) {
+    auto it = entries_.find(n);
+    if (it != entries_.end() && it->second.provenance == p) out.push_back(n);
+  }
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace gnndse::kernels

@@ -1,6 +1,7 @@
 #include "kir/kernel.hpp"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 namespace gnndse::kir {
@@ -57,8 +58,24 @@ void validate(const Kernel& k) {
   };
   if (k.name.empty()) fail("empty name");
 
+  for (const Array& a : k.arrays) {
+    if (a.name.empty()) fail("array with empty name");
+    if (a.num_elems <= 0) fail("array " + a.name + " has num_elems <= 0");
+    if (a.elem_bits <= 0) fail("array " + a.name + " has elem_bits <= 0");
+  }
+
+  // An ancestor walk that cannot rely on the (not yet verified) invariants:
+  // parent indices are checked for range/order before it is used.
+  auto encloses = [&k](int ancestor, int loop_id) {
+    for (int cur = loop_id; cur != -1;
+         cur = k.loops[static_cast<std::size_t>(cur)].parent)
+      if (cur == ancestor) return true;
+    return false;
+  };
+
   for (std::size_t i = 0; i < k.loops.size(); ++i) {
     const Loop& l = k.loops[i];
+    if (l.name.empty()) fail("loop " + std::to_string(i) + " has empty name");
     if (l.trip_count <= 0) fail("loop " + l.name + " has trip count <= 0");
     if (l.parent != -1) {
       if (l.parent < 0 || static_cast<std::size_t>(l.parent) >= k.loops.size())
@@ -73,6 +90,24 @@ void validate(const Kernel& k) {
                          static_cast<int>(i)) == k.top_loops.end()) {
       fail("top-level loop " + l.name + " missing from top_loops");
     }
+    for (int c : l.children) {
+      if (c < 0 || static_cast<std::size_t>(c) >= k.loops.size())
+        fail("loop " + l.name + " lists an out-of-range child");
+      if (k.loops[static_cast<std::size_t>(c)].parent != static_cast<int>(i))
+        fail("loop " + l.name + " lists a child whose parent is another loop");
+    }
+    if (std::set<int>(l.children.begin(), l.children.end()).size() !=
+        l.children.size())
+      fail("loop " + l.name + " lists a child twice");
+    for (int s : l.stmts) {
+      if (s < 0 || static_cast<std::size_t>(s) >= k.stmts.size())
+        fail("loop " + l.name + " lists an out-of-range stmt");
+      if (k.stmts[static_cast<std::size_t>(s)].parent_loop !=
+          static_cast<int>(i))
+        fail("loop " + l.name + " lists a stmt belonging to another loop");
+    }
+    if (std::set<int>(l.stmts.begin(), l.stmts.end()).size() != l.stmts.size())
+      fail("loop " + l.name + " lists a stmt twice");
     auto check_options = [&](const std::vector<std::int64_t>& opts, bool can,
                              const char* what) {
       if (!can) {
@@ -104,17 +139,35 @@ void validate(const Kernel& k) {
     for (const ArrayAccess& a : st.accesses) {
       if (a.array < 0 || static_cast<std::size_t>(a.array) >= k.arrays.size())
         fail("stmt " + st.name + " accesses out-of-range array");
-      if (a.driving_loop != -1 &&
-          (a.driving_loop < 0 ||
-           static_cast<std::size_t>(a.driving_loop) >= k.loops.size()))
-        fail("stmt " + st.name + " has out-of-range driving loop");
+      if (a.driving_loop != -1) {
+        if (a.driving_loop < 0 ||
+            static_cast<std::size_t>(a.driving_loop) >= k.loops.size())
+          fail("stmt " + st.name + " has out-of-range driving loop");
+        if (!encloses(a.driving_loop, st.parent_loop))
+          fail("stmt " + st.name +
+               " has a driving loop that does not enclose it");
+      }
     }
     if (st.dep_loop != -1) {
-      if (static_cast<std::size_t>(st.dep_loop) >= k.loops.size())
+      if (st.dep_loop < 0 ||
+          static_cast<std::size_t>(st.dep_loop) >= k.loops.size())
         fail("stmt " + st.name + " has out-of-range dep loop");
+      if (!encloses(st.dep_loop, st.parent_loop))
+        fail("stmt " + st.name + " has a dep loop that does not enclose it");
       if (st.dep_distance < 1) fail("stmt " + st.name + " dep distance < 1");
       if (st.dep_latency < 1) fail("stmt " + st.name + " dep latency < 1");
+    } else if (st.dep_distance != 0 || st.dep_latency != 0) {
+      fail("stmt " + st.name + " has dep fields without a dep loop");
     }
+  }
+
+  std::set<int> tops(k.top_loops.begin(), k.top_loops.end());
+  if (tops.size() != k.top_loops.size()) fail("top_loops lists a loop twice");
+  for (int t : k.top_loops) {
+    if (t < 0 || static_cast<std::size_t>(t) >= k.loops.size())
+      fail("top_loops lists an out-of-range loop");
+    if (k.loops[static_cast<std::size_t>(t)].parent != -1)
+      fail("top_loops lists a nested loop");
   }
 
   if (!k.loop_function.empty() && k.loop_function.size() != k.loops.size())

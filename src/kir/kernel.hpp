@@ -142,9 +142,14 @@ struct Kernel {
 };
 
 /// Structural sanity checks; throws std::invalid_argument on violation.
-/// Verified invariants: parent/child symmetry, topological ordering,
-/// statement linkage, positive trip counts, option lists that contain 1 and
-/// divide or not exceed the trip count.
+/// Verified invariants: parent/child symmetry in both directions (no
+/// duplicate or stolen children/stmts), topological parent-before-child
+/// ordering, top_loops exactly covering parentless loops, statement
+/// linkage, positive trip counts and array extents, option lists that
+/// contain 1 and do not exceed the trip count, and dep/driving loops that
+/// actually enclose their statement. Both the text frontend
+/// (src/frontend/) and the seeded generator run every kernel through this
+/// before it reaches hlssim/graphgen.
 void validate(const Kernel& k);
 
 // ---------------------------------------------------------------------------

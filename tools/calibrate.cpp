@@ -9,22 +9,31 @@
 
 #include "dspace/design_space.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/registry.hpp"
 #include "oracle/stack.hpp"
 #include "util/rng.hpp"
 
 using namespace gnndse;
 
-int main() {
+int main(int argc, char** argv) {
   oracle::OracleStack oracle;
   util::Rng rng(7);
-  std::vector<std::string> names = kernels::training_kernel_names();
-  for (const auto& n : kernels::unseen_kernel_names()) names.push_back(n);
+  // With arguments, probe exactly those kernels — registry names or .json
+  // paths. Default: the paper's training + unseen sets.
+  auto& reg = kernels::Registry::global();
+  std::vector<std::string> names;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) names.push_back(reg.resolve(argv[i]).name);
+  } else {
+    names = kernels::training_kernel_names();
+    for (const auto& n : kernels::unseen_kernel_names()) names.push_back(n);
+  }
 
   std::printf("%-14s %6s %14s %14s | %10s %10s %6s | %8s %8s %8s %8s | %8s\n",
               "kernel", "#prag", "raw", "pruned", "minLat", "maxLat",
               "valid%", "maxUdsp", "maxUbram", "maxUlut", "maxUff", "maxSyn");
   for (const auto& name : names) {
-    kir::Kernel k = kernels::make_kernel(name);
+    kir::Kernel k = reg.get(name);
     dspace::DesignSpace ds(k);
     const int samples = 400;
     double min_lat = 1e30, max_lat = 0;

@@ -2,7 +2,7 @@
 #include <cstdio>
 
 #include "db/explorer.hpp"
-#include "kernels/kernels.hpp"
+#include "kernels/registry.hpp"
 #include "model/trainer.hpp"
 #include "oracle/stack.hpp"
 
@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
   const float lr = argc > 2 ? std::atof(argv[2]) : 1e-3f;
   oracle::OracleStack oracle;
   util::Rng rng(21);
-  auto kernels = std::vector<kir::Kernel>{kernels::make_kernel("nw")};
+  auto kernels =
+      std::vector<kir::Kernel>{kernels::Registry::global().get("nw")};
   db::Database database = db::generate_initial_database(
       kernels, oracle, rng, [](const std::string&) { return 150; });
   auto c = database.counts_total();
