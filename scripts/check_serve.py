@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""End-to-end gate for the `gnndse serve` daemon (docs/serving.md).
+
+Stdlib-only. Drives a real daemon over its loopback line-JSON protocol and
+asserts the serving contracts that matter:
+
+  1. Coalescing: 32 predicts pipelined down one connection are answered in
+     batches (serve.batch_size p50 > 1 via admin stats, and per-response
+     batch_size fields show multi-request batches).
+  2. Bit-identity: the daemon's predicted/p_valid fields are string-equal
+     to a direct single-process `gnndse predict` run on the same weight
+     files (%.9g formatting round-trips float32, so string-equal means
+     bit-equal).
+  3. Async sweeps: a sweep returns a job id immediately, polls report
+     progress while running (elapsed seconds / configs explored), a second
+     sweep cancels cooperatively, and an `evaluate` sweep writes its oracle
+     results into the per-client cache namespace.
+  4. Hot swap: admin reload-model mid-traffic bumps the model version;
+     later predicts carry the new version and (same weight files) the
+     identical predictions.
+  5. Drain: the admin drain is acknowledged and the daemon exits 0.
+
+Usage:  check_serve.py GNNDSE_BINARY [--workdir DIR]
+Exit code 0 = all checks pass, 1 = check failed, 2 = usage/setup error.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+SERVE_TIMEOUT_S = 600  # startup includes a (tiny) training run
+IO_TIMEOUT_S = 120
+
+HIDDEN = 16
+LAYERS = 2
+EPOCHS = 2
+BUDGET = 3
+
+
+def fail(msg):
+    print(f"check_serve: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+class Client:
+    """Pipelining line-JSON client: send many requests before reading any
+    response, which is what lets the daemon coalesce them."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=IO_TIMEOUT_S)
+        self.buf = b""
+
+    def send(self, obj):
+        self.sock.sendall((json.dumps(obj) + "\n").encode())
+
+    def send_burst(self, objs):
+        payload = "".join(json.dumps(o) + "\n" for o in objs)
+        self.sock.sendall(payload.encode())
+
+    def recv(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail("daemon closed the connection mid-conversation")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line.decode())
+
+    def roundtrip(self, obj):
+        self.send(obj)
+        return self.recv()
+
+
+def predicted_key(resp):
+    """Canonical string form of the predicted/p_valid payload for
+    bit-identity comparison (dict equality would also do, but the string
+    makes mismatches obvious in the failure message)."""
+    return json.dumps({"predicted": resp["predicted"],
+                       "p_valid": resp["p_valid"]}, sort_keys=True)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary")
+    ap.add_argument("--workdir", default=None)
+    args = ap.parse_args()
+
+    binary = os.path.abspath(args.binary)
+    if not os.access(binary, os.X_OK):
+        print(f"check_serve: not executable: {binary}", file=sys.stderr)
+        return 2
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="check_serve_")
+    os.makedirs(workdir, exist_ok=True)
+    kdir = os.path.join(workdir, "kernels")
+    cache_dir = os.path.join(workdir, "cache")
+    weights = os.path.join(workdir, "weights")
+    os.makedirs(cache_dir, exist_ok=True)
+
+    # A generated kernel gives us its canonical JSON on disk: the same
+    # object rides the wire and feeds `gnndse predict`. Seed 7 is pinned
+    # because its pruned design space (~80k configs) exceeds
+    # DseOptions::max_exhaustive, so sweeps take the time-limited heuristic
+    # path — which is what makes the running-poll and cancel checks below
+    # deterministic instead of racing sweep completion.
+    subprocess.run([binary, "gen-kernels", "--count", "1", "--seed", "7",
+                    "--out", kdir],
+                   check=True, timeout=IO_TIMEOUT_S)
+    kfiles = [f for f in os.listdir(kdir) if f.endswith(".json")]
+    require(len(kfiles) == 1, f"expected one generated kernel, got {kfiles}")
+    kpath = os.path.join(kdir, kfiles[0])
+    with open(kpath) as f:
+        kernel = json.load(f)
+
+    env = dict(os.environ)
+    env["GNNDSE_SERVE_BATCH"] = "16"
+    env["GNNDSE_SERVE_BATCH_US"] = "50000"
+    daemon = subprocess.Popen(
+        [binary, "serve", "--port", "0", "--epochs", str(EPOCHS),
+         "--hidden", str(HIDDEN), "--layers", str(LAYERS),
+         "--budget", str(BUDGET), "--weights", weights,
+         "--cache-dir", cache_dir, "--time", "5", "--top", "5"],
+        cwd=workdir, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, text=True)
+    try:
+        # Readiness line: "gnndse serve: listening on 127.0.0.1:PORT".
+        port = None
+        start = time.time()
+        while time.time() - start < SERVE_TIMEOUT_S:
+            line = daemon.stdout.readline()
+            if not line:
+                fail("daemon exited before its readiness line")
+            m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            if m:
+                port = int(m.group(1))
+                break
+        require(port is not None, "no readiness line before timeout")
+        c = Client(port)
+
+        # --- 1. coalescing: 32 pipelined predicts --------------------------
+        c.send_burst([{"kind": "predict", "id": i, "kernel": kernel}
+                      for i in range(1, 33)])
+        batch_sizes = []
+        first_pred = None
+        for i in range(1, 33):
+            r = c.recv()
+            require(r.get("ok"), f"predict {i} failed: {r}")
+            require(r["id"] == i, f"response order broken: {r['id']} != {i}")
+            batch_sizes.append(r["batch_size"])
+            key = predicted_key(r)
+            if first_pred is None:
+                first_pred = key
+            require(key == first_pred,
+                    "identical requests returned different predictions "
+                    "(batch composition dependence)")
+        require(max(batch_sizes) > 1,
+                f"no coalescing: batch sizes {sorted(set(batch_sizes))}")
+
+        # --- 2. bit-identity vs a direct gnndse predict run ----------------
+        out = subprocess.run(
+            [binary, "predict", kpath, "--weights", weights,
+             "--hidden", str(HIDDEN), "--layers", str(LAYERS)],
+            check=True, timeout=IO_TIMEOUT_S, capture_output=True, text=True,
+            cwd=workdir).stdout.strip()
+        require(predicted_key(json.loads(out)) == first_pred,
+                f"daemon prediction differs from `gnndse predict`:\n"
+                f"  daemon: {first_pred}\n  direct: {out}")
+
+        # --- 3a. running-state polling + cooperative cancellation ----------
+        # Job ids are deterministic ("job-1", "job-2", ...), so the poll can
+        # ride the same pipelined burst as the sweep itself — it reaches the
+        # daemon microseconds after the job thread spawns, long before a
+        # 600-second budget runs out.
+        c.send_burst([{"kind": "sweep", "kernel": kernel,
+                       "time_limit": 600.0, "id": 40},
+                      {"kind": "poll", "job": "job-1", "id": 41}])
+        r = c.recv()
+        require(r.get("ok") and r.get("job") == "job-1",
+                f"sweep not accepted: {r}")
+        p = c.recv()
+        require(p.get("ok") and p["state"] == "running",
+                f"immediate poll did not find the sweep running: {p}")
+        require("elapsed" in p and "configs_explored" in p
+                and "frontier" in p,
+                f"running poll lacks progress fields: {p}")
+        r = c.roundtrip({"kind": "cancel", "job": "job-1"})
+        require(r.get("ok"), f"cancel failed: {r}")
+        deadline = time.time() + IO_TIMEOUT_S
+        while time.time() < deadline:
+            p = c.roundtrip({"kind": "poll", "job": "job-1"})
+            if p.get("state") != "running":
+                require(p["state"] == "cancelled",
+                        f"cancelled sweep finished as: {p}")
+                break
+            time.sleep(0.2)
+        else:
+            fail("cancelled sweep never reached a terminal state")
+
+        # --- 3b. bounded sweep completes with a top-M ----------------------
+        r = c.roundtrip({"kind": "sweep", "kernel": kernel,
+                         "time_limit": 2.0, "top_m": 3})
+        job = r["job"]
+        deadline = time.time() + IO_TIMEOUT_S
+        while time.time() < deadline:
+            p = c.roundtrip({"kind": "poll", "job": job})
+            require(p.get("ok"), f"poll failed: {p}")
+            if p["state"] == "running":
+                time.sleep(0.2)
+                continue
+            require(p["state"] == "done", f"unexpected terminal state: {p}")
+            require(p["num_explored"] > 0, f"sweep explored nothing: {p}")
+            require(0 < len(p["top"]) <= 3,
+                    f"sweep returned a bad top-M: {p}")
+            break
+        else:
+            fail(f"sweep {job} did not finish within {IO_TIMEOUT_S}s")
+
+        # --- 3c. evaluate sweep fills the per-client oracle cache ----------
+        r = c.roundtrip({"kind": "sweep", "kernel": kernel, "client": "alice",
+                         "time_limit": 1.0, "top_m": 2, "evaluate": True})
+        job = r["job"]
+        deadline = time.time() + IO_TIMEOUT_S
+        while time.time() < deadline:
+            p = c.roundtrip({"kind": "poll", "job": job})
+            if p.get("state") == "done":
+                require(p.get("evaluated"), f"evaluate sweep skipped HLS: {p}")
+                break
+            time.sleep(0.2)
+        else:
+            fail("evaluate sweep did not finish")
+        require(os.path.exists(os.path.join(cache_dir, "alice.csv")),
+                "per-client oracle cache alice.csv was not written")
+
+        # --- 4. model hot swap mid-traffic ---------------------------------
+        reqs = [{"kind": "predict", "id": 100 + i, "kernel": kernel}
+                for i in range(16)]
+        reqs.append({"kind": "admin", "op": "reload-model", "id": 200})
+        reqs += [{"kind": "predict", "id": 300 + i, "kernel": kernel}
+                 for i in range(16)]
+        c.send_burst(reqs)
+        versions = set()
+        for _ in range(33):
+            r = c.recv()
+            require(r.get("ok"), f"request failed during hot swap: {r}")
+            if r["id"] == 200:
+                require(r["model_version"] == 2,
+                        f"reload-model did not bump the version: {r}")
+                continue
+            versions.add(r["model_version"])
+            require(predicted_key(r) == first_pred,
+                    "prediction changed across a same-weights hot swap")
+        require(2 in versions,
+                f"no post-swap predict carried version 2 (saw {versions})")
+
+        # --- 5. stats + drain ----------------------------------------------
+        s = c.roundtrip({"kind": "admin", "op": "stats"})
+        require(s.get("ok"), f"stats failed: {s}")
+        require(s["model_version"] == 2, f"stats version: {s}")
+        require(s["requests"] >= 70, f"request counter too low: {s}")
+        require(s["batches"] >= 2, f"batch counter too low: {s}")
+        require(s["batch_p50"] > 1,
+                f"serve.batch_size p50 is {s['batch_p50']}: coalescing gate")
+        require(s["jobs"] == 3 and s["jobs_running"] == 0,
+                f"job accounting: {s}")
+        require(s["model_swaps"] == 1, f"swap counter: {s}")
+
+        d = c.roundtrip({"kind": "admin", "op": "drain"})
+        require(d.get("ok") and d.get("op") == "drain",
+                f"drain not acknowledged: {d}")
+        rc = daemon.wait(timeout=IO_TIMEOUT_S)
+        require(rc == 0, f"daemon exited {rc} after drain")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        if args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    print("check_serve: OK (coalescing, bit-identity, sweeps, hot swap, "
+          "drain)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,11 @@ ctest --test-dir build -R '^dse_fault_degradation$' --output-on-failure \
 ctest --test-dir build \
   -R '^(trace_emit_check|heartbeat_check|report_regression_diff)$' \
   --output-on-failure 2>&1 | tee live_telemetry_output.txt || exit 1
+# Serving gate: coalesced predicts, bit-identity vs `gnndse predict`,
+# async sweep polling/cancel, and mid-traffic model hot swap against a
+# real daemon (docs/serving.md).
+ctest --test-dir build -R '^serve_e2e_check$' --output-on-failure \
+  2>&1 | tee serve_e2e_output.txt || exit 1
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

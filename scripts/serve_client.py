@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Pipelining client for the `gnndse serve` daemon (docs/serving.md).
+
+Stdlib-only. Unlike `gnndse client` (strict request/response per line),
+this client sends every request before reading any response — which is the
+traffic shape that lets the daemon's batcher coalesce predicts. Responses
+are printed in request order, one JSON object per line.
+
+Usage:
+  serve_client.py --port P [--host H] REQUEST.jsonl       requests from file
+  serve_client.py --port P -                              requests from stdin
+  serve_client.py --port P --predict KERNEL.json [-n 32] [--config KEY]
+      expand one kernel file into N pipelined predict requests (ids 1..N)
+      and summarize the batch sizes the daemon reports.
+
+Examples:
+  # Watch coalescing happen:
+  scripts/serve_client.py --port 8642 --predict gen_kernels/gen-s7.json -n 32
+  # Raw protocol access:
+  echo '{"kind":"admin","op":"stats"}' | scripts/serve_client.py --port 8642 -
+"""
+
+import argparse
+import collections
+import json
+import socket
+import sys
+
+
+def read_requests(path):
+    f = sys.stdin if path == "-" else open(path)
+    with f:
+        return [line.strip() for line in f if line.strip()]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("requests", nargs="?", default=None,
+                    help="file of JSON requests, one per line ('-' = stdin)")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--predict", metavar="KERNEL_JSON",
+                    help="send N pipelined predicts for this kernel file")
+    ap.add_argument("-n", type=int, default=32,
+                    help="predict count for --predict (default 32)")
+    ap.add_argument("--config", default=None,
+                    help="DesignConfig key for --predict (default neutral)")
+    ap.add_argument("--timeout", type=float, default=120.0)
+    args = ap.parse_args()
+
+    if bool(args.predict) == bool(args.requests):
+        ap.error("exactly one of --predict or a requests file is required")
+
+    if args.predict:
+        with open(args.predict) as f:
+            kernel = json.load(f)
+        lines = []
+        for i in range(1, args.n + 1):
+            req = {"kind": "predict", "id": i, "kernel": kernel}
+            if args.config:
+                req["config"] = args.config
+            lines.append(json.dumps(req))
+    else:
+        lines = read_requests(args.requests)
+
+    sock = socket.create_connection((args.host, args.port),
+                                    timeout=args.timeout)
+    sock.sendall(("\n".join(lines) + "\n").encode())
+
+    responses = []
+    buf = b""
+    while len(responses) < len(lines):
+        while b"\n" not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                print("serve_client: connection closed early",
+                      file=sys.stderr)
+                return 1
+            buf += chunk
+        line, buf = buf.split(b"\n", 1)
+        responses.append(line.decode())
+        print(responses[-1])
+    sock.close()
+
+    if args.predict:
+        sizes = collections.Counter()
+        ok = 0
+        for raw in responses:
+            r = json.loads(raw)
+            if r.get("ok"):
+                ok += 1
+                sizes[r.get("batch_size", 0)] += 1
+        print(f"serve_client: {ok}/{len(responses)} ok, "
+              f"batch sizes {dict(sorted(sizes.items()))}", file=sys.stderr)
+        if ok != len(responses):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

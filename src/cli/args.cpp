@@ -1,6 +1,7 @@
 #include "cli/args.hpp"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace gnndse::cli {
 
@@ -28,12 +29,26 @@ std::string Args::get(const std::string& key,
 
 int Args::get_int(const std::string& key, int fallback) const {
   auto it = options_.find(key);
-  return it == options_.end() ? fallback : std::atoi(it->second.c_str());
+  if (it == options_.end()) return fallback;
+  // Strict parse: "--epochs ten" or "--gen 5x" must fail loudly, not run
+  // with atoi's silent 0/5. Malformed values are usage errors (rc 2).
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0')
+    throw std::invalid_argument("--" + key + ": expected an integer, got '" +
+                                it->second + "'");
+  return static_cast<int>(v);
 }
 
 double Args::get_double(const std::string& key, double fallback) const {
   auto it = options_.find(key);
-  return it == options_.end() ? fallback : std::atof(it->second.c_str());
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0')
+    throw std::invalid_argument("--" + key + ": expected a number, got '" +
+                                it->second + "'");
+  return v;
 }
 
 }  // namespace gnndse::cli

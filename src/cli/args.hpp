@@ -16,6 +16,8 @@ class Args {
 
   bool has(const std::string& key) const { return options_.count(key) > 0; }
   std::string get(const std::string& key, const std::string& fallback) const;
+  /// Strictly parsed: a present-but-malformed value throws
+  /// std::invalid_argument (the CLI maps that to usage + exit code 2).
   int get_int(const std::string& key, int fallback) const;
   double get_double(const std::string& key, double fallback) const;
 

@@ -12,6 +12,14 @@
 //                [--kernels DIR] [--gen N --gen-seed S]
 //   gnndse dse <kernel> [--db db.csv] [--weights PREFIX] [--time SECONDS]
 //   gnndse autodse <kernel> [--budget-hours H]
+//   gnndse serve [--port P] [--db db.csv] [--weights PREFIX]
+//                [--cache-dir DIR] [--budget N] [--epochs N] [--hidden H]
+//                [--layers L] [--time S] [--top M]   (docs/serving.md)
+//   gnndse predict <kernel> --weights PREFIX [--config KEY] [--hidden H]
+//                [--layers L]                direct-inference reference for
+//                                            serve responses
+//   gnndse client [--port P] [--host H] [--request JSON]  one request (or
+//                                            stdin lines) to a daemon
 //
 // Every <kernel> argument accepts either a registry name (see
 // `list-kernels`) or a path to a .json kernel description (docs/kernels.md)
@@ -41,6 +49,7 @@
 #include "kernels/registry.hpp"
 #include "obs/report.hpp"
 #include "oracle/stack.hpp"
+#include "serve/server.hpp"
 #include "util/table.hpp"
 
 using namespace gnndse;
@@ -50,7 +59,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: gnndse <list-kernels|eval|graph|gen-kernels|gen-db|"
-               "train|dse|autodse> [args]\n"
+               "train|dse|autodse|serve|predict|client> [args]\n"
                "  see the header of src/cli/main.cpp\n");
   return 2;
 }
@@ -218,6 +227,15 @@ int cmd_gen_db(const cli::Args& args) {
 }
 
 int cmd_train(const cli::Args& args) {
+  // Parse every option before the expensive DB/training work so a
+  // malformed value exits 2 immediately instead of minutes in.
+  dse::PipelineOptions po;
+  po.main_epochs = args.get_int("epochs", 30);
+  po.bram_epochs = std::max(2, po.main_epochs / 2);
+  po.classifier_epochs = std::max(2, po.main_epochs / 2);
+  po.hidden = args.get_int("hidden", 64);
+  po.verbose = args.has("verbose");
+  const std::string prefix = args.get("out", "gnndse_bundle");
   oracle::OracleStack oracle;
   auto kernels = training_set(args);
   db::Database db;
@@ -228,13 +246,6 @@ int cmd_train(const cli::Args& args) {
     db = db::generate_initial_database(kernels, oracle, rng);
   }
   model::SampleFactory factory;
-  dse::PipelineOptions po;
-  po.main_epochs = args.get_int("epochs", 30);
-  po.bram_epochs = std::max(2, po.main_epochs / 2);
-  po.classifier_epochs = std::max(2, po.main_epochs / 2);
-  po.hidden = args.get_int("hidden", 64);
-  po.verbose = args.has("verbose");
-  const std::string prefix = args.get("out", "gnndse_bundle");
   dse::TrainedModels models(db, kernels, factory, po, prefix);
   std::printf("trained bundle saved as %s.{main,bram,cls}.bin "
               "(norm factor %.0f)\n",
@@ -245,6 +256,15 @@ int cmd_train(const cli::Args& args) {
 int cmd_dse(const cli::Args& args) {
   if (args.positional().size() < 2) return usage();
   kir::Kernel target = resolve_kernel(args.positional()[1]);
+  // Parse every option before the expensive DB/training work so a
+  // malformed value exits 2 immediately instead of minutes in.
+  dse::PipelineOptions po;
+  po.main_epochs = args.get_int("epochs", 30);
+  po.bram_epochs = std::max(2, po.main_epochs / 2);
+  po.classifier_epochs = std::max(2, po.main_epochs / 2);
+  dse::DseOptions dopts;
+  dopts.time_limit_seconds = args.get_double("time", 60.0);
+  dopts.top_m = args.get_int("top", 10);
   // The stack's cache turns top-M re-evaluations into oracle.hits.
   oracle::OracleStack oracle;
   auto kernels = training_set(args);
@@ -256,16 +276,9 @@ int cmd_dse(const cli::Args& args) {
     db = db::generate_initial_database(kernels, oracle, rng);
   }
   model::SampleFactory factory;
-  dse::PipelineOptions po;
-  po.main_epochs = args.get_int("epochs", 30);
-  po.bram_epochs = std::max(2, po.main_epochs / 2);
-  po.classifier_epochs = std::max(2, po.main_epochs / 2);
   dse::TrainedModels models(db, kernels, factory, po,
                             args.get("weights", ""));
   dse::ModelDse model_dse(models.bundle(), models.normalizer(), factory);
-  dse::DseOptions dopts;
-  dopts.time_limit_seconds = args.get_double("time", 60.0);
-  dopts.top_m = args.get_int("top", 10);
   util::Rng rng(13);
   dse::DseResult r = model_dse.run(target, dopts, rng);
   auto ev = model_dse.evaluate_top(target, r, oracle);
@@ -297,6 +310,118 @@ int cmd_autodse(const cli::Args& args) {
   return 0;
 }
 
+int cmd_serve(const cli::Args& args) {
+  // Parse every option before the expensive DB/training work so a
+  // malformed value exits 2 immediately instead of minutes in.
+  const int budget = args.get_int("budget", 0);
+  dse::PipelineOptions po;
+  po.main_epochs = args.get_int("epochs", 30);
+  po.bram_epochs = std::max(2, po.main_epochs / 2);
+  po.classifier_epochs = std::max(2, po.main_epochs / 2);
+  po.hidden = args.get_int("hidden", 64);
+  po.gnn_layers = args.get_int("layers", 6);
+  serve::ServerOptions so;
+  so.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  so.weights_prefix = args.get("weights", "");
+  so.cache_dir = args.get("cache-dir", "");
+  so.sweep_time_limit = args.get_double("time", 5.0);
+  so.top_m = args.get_int("top", 10);
+  so.batcher = serve::BatcherOptions::from_env();
+
+  oracle::OracleStack oracle;
+  auto kernels = training_set(args);
+  db::Database db;
+  if (args.has("db")) {
+    db = db::Database::load_csv(args.get("db", ""));
+  } else {
+    util::Rng rng(42);
+    db = budget > 0 ? db::generate_initial_database(
+                          kernels, oracle, rng,
+                          [budget](const std::string&) { return budget; })
+                    : db::generate_initial_database(kernels, oracle, rng);
+  }
+  model::SampleFactory factory;
+  dse::TrainedModels models(db, kernels, factory, po,
+                            args.get("weights", ""));
+
+  serve::ModelSlot slot;
+  slot.install(serve::snapshot_from_trained(
+      models, models.normalizer().norm_factor()));
+  serve::Server server(slot, factory, so);
+  // Readiness line clients parse for the bound (possibly ephemeral) port.
+  std::printf("gnndse serve: listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  server.run();
+  return 0;
+}
+
+int cmd_predict(const cli::Args& args) {
+  if (args.positional().size() < 2) return usage();
+  kir::Kernel k = resolve_kernel(args.positional()[1]);
+  const std::string prefix = args.get("weights", "");
+  if (prefix.empty()) {
+    std::fprintf(stderr, "predict: --weights PREFIX is required\n");
+    return 2;
+  }
+  hlssim::DesignConfig cfg =
+      args.has("config") ? hlssim::parse_config_key(args.get("config", ""))
+                         : hlssim::DesignConfig::neutral(k);
+  if (cfg.loops.size() != k.loops.size()) {
+    std::fprintf(stderr, "config has %zu loops, kernel has %zu\n",
+                 cfg.loops.size(), k.loops.size());
+    return 1;
+  }
+  model::ModelOptions base;
+  base.hidden = args.get_int("hidden", 64);
+  base.gnn_layers = args.get_int("layers", 6);
+  serve::ModelSlot slot;
+  slot.install(serve::snapshot_from_files(prefix, base, /*norm_factor=*/1.0));
+  serve::ModelInstance instance;
+  instance.ensure(slot.current());
+  model::SampleFactory factory;
+  serve::PredictResult r = serve::predict_single(instance, factory, k, cfg);
+  if (!r.ok) {
+    std::fprintf(stderr, "predict: %s\n", r.error.c_str());
+    return 1;
+  }
+  // Same formatting as the daemon's predict responses, so outputs compare
+  // as strings (scripts/check_serve.py relies on this).
+  std::printf("{%s}\n", serve::predicted_fields(r.predicted, r.p_valid).c_str());
+  return 0;
+}
+
+int cmd_client(const cli::Args& args) {
+  const int port = args.get_int("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "client: --port P (1..65535) is required\n");
+    return 2;
+  }
+  serve::Socket sock = serve::connect_to(args.get("host", "127.0.0.1"),
+                                         static_cast<std::uint16_t>(port));
+  serve::LineReader lines(sock);
+  auto roundtrip = [&](const std::string& line) {
+    if (!sock.send_line(line)) {
+      std::fprintf(stderr, "client: send failed\n");
+      return 1;
+    }
+    std::string resp;
+    if (!lines.read_line(&resp)) {
+      std::fprintf(stderr, "client: connection closed\n");
+      return 1;
+    }
+    std::printf("%s\n", resp.c_str());
+    return 0;
+  };
+  if (args.has("request")) return roundtrip(args.get("request", ""));
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (int rc = roundtrip(line)) return rc;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,6 +443,15 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(args);
     if (cmd == "dse") return cmd_dse(args);
     if (cmd == "autodse") return cmd_autodse(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "client") return cmd_client(args);
+  } catch (const std::invalid_argument& e) {
+    // Malformed option values (--gen x, --epochs ten) and bad --kernels
+    // directories are usage errors: message + usage + exit code 2,
+    // uniformly across verbs.
+    std::fprintf(stderr, "gnndse %s: %s\n", cmd.c_str(), e.what());
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gnndse %s: %s\n", cmd.c_str(), e.what());
     return 1;

@@ -154,7 +154,17 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
   DseResult result;
   std::vector<RankedDesign> ranked;
 
+  // Checked between chunks: cancellation is cooperative, so one in-flight
+  // chunk finishes scoring before the run winds down.
+  auto cancelled = [&] {
+    return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
+  };
+
   auto flush_and_keep_top = [&](std::vector<DesignConfig>& pending) {
+    if (cancelled()) {
+      pending.clear();
+      return;
+    }
     score_chunk(kernel, pending, ranked, opts.use_fast_path);
     result.num_explored += pending.size();
     obs::add(c_explored, static_cast<std::int64_t>(pending.size()));
@@ -176,6 +186,7 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
     std::vector<DesignConfig> pending;
     pending.reserve(static_cast<std::size_t>(opts.chunk));
     space.for_each([&](const DesignConfig& cfg) {
+      if (cancelled()) return;  // enumeration keeps going, scoring stops
       pending.push_back(cfg);
       if (pending.size() >= static_cast<std::size_t>(opts.chunk))
         flush_and_keep_top(pending);
@@ -196,7 +207,7 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
     std::vector<DesignConfig> pending;
     bool out_of_time = false;
     for (int site_idx : order) {
-      if (timer.seconds() > opts.time_limit_seconds) {
+      if (timer.seconds() > opts.time_limit_seconds || cancelled()) {
         out_of_time = true;
         break;
       }
@@ -225,7 +236,8 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
       if (beam.empty()) beam.push_back(DesignConfig::neutral(kernel));
     }
     // Spend any remaining budget on random exploration.
-    while (!out_of_time && timer.seconds() < opts.time_limit_seconds) {
+    while (!out_of_time && timer.seconds() < opts.time_limit_seconds &&
+           !cancelled()) {
       pending.clear();
       for (int i = 0; i < opts.chunk; ++i) {
         DesignConfig cfg = space.sample(rng);
@@ -252,6 +264,7 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
   }
   result.top = std::move(ranked);
   result.search_seconds = timer.seconds();
+  result.cancelled = cancelled();
   timer.add("configs_explored", static_cast<double>(result.num_explored));
   return result;
 }

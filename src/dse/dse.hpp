@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -46,6 +47,11 @@ struct DseOptions {
   /// false restores the legacy per-head tape path — kept for the
   /// tape-vs-fast benchmark (bench_fastpath) and as an escape hatch.
   bool use_fast_path = true;
+  /// Cooperative cancellation: another thread (the serve daemon's cancel
+  /// request) sets the flag; the search checks it between chunks, stops
+  /// scoring, and returns with DseResult::cancelled set. nullptr = never
+  /// cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct RankedDesign {
@@ -65,6 +71,9 @@ struct DseResult {
   std::vector<RankedDesign> reserve;
   std::uint64_t num_explored = 0;
   double search_seconds = 0.0;  // model-driven search wall-clock
+  /// True when DseOptions::cancel fired: `top` holds the best designs
+  /// ranked before the cancellation point.
+  bool cancelled = false;
 };
 
 /// Bundles the three trained models GNN-DSE uses at inference time.

@@ -43,6 +43,8 @@ class TrainedModels {
   ModelBundle bundle();
   const model::Normalizer& normalizer() const { return norm_; }
   model::PredictiveModel& main_model() { return *main_model_; }
+  model::PredictiveModel& bram_model() { return *bram_model_; }
+  model::PredictiveModel& cls_model() { return *cls_model_; }
   model::Trainer& main_trainer() { return *main_trainer_; }
 
  private:

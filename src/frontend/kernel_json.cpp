@@ -1,5 +1,7 @@
 #include "frontend/kernel_json.hpp"
 
+#include "frontend/json_value.hpp"
+
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -7,158 +9,7 @@
 namespace gnndse::frontend {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader. The kernel format only needs objects, arrays,
-// strings, integers and booleans; anything else (floats, null, duplicate
-// keys) is rejected with a line-numbered error so authors get actionable
-// messages instead of silently-defaulted fields.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kObject, kArray, kString, kInt, kBool } type;
-  // Pairs keep file order so error messages can point at the offending key.
-  std::vector<std::pair<std::string, JsonValue>> object;
-  std::vector<JsonValue> array;
-  std::string str;
-  std::int64_t num = 0;
-  bool boolean = false;
-  int line = 0;  // 1-based line the value started on
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after the top-level value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& msg) const {
-    throw std::invalid_argument("kernel json, line " + std::to_string(line_) +
-                                ": " + msg);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '\n') ++line_;
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c)
-      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    JsonValue v;
-    v.line = line_;
-    if (c == '{') {
-      v.type = JsonValue::Type::kObject;
-      ++pos_;
-      if (peek() == '}') {
-        ++pos_;
-        return v;
-      }
-      while (true) {
-        JsonValue key = string_value();
-        expect(':');
-        for (const auto& kv : v.object)
-          if (kv.first == key.str) fail("duplicate key \"" + key.str + "\"");
-        v.object.emplace_back(key.str, value());
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect('}');
-        return v;
-      }
-    }
-    if (c == '[') {
-      v.type = JsonValue::Type::kArray;
-      ++pos_;
-      if (peek() == ']') {
-        ++pos_;
-        return v;
-      }
-      while (true) {
-        v.array.push_back(value());
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect(']');
-        return v;
-      }
-    }
-    if (c == '"') return string_value();
-    if (c == 't' || c == 'f') {
-      v.type = JsonValue::Type::kBool;
-      const char* word = c == 't' ? "true" : "false";
-      for (const char* p = word; *p; ++p, ++pos_)
-        if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
-      v.boolean = c == 't';
-      return v;
-    }
-    if (c == '-' || (c >= '0' && c <= '9')) {
-      v.type = JsonValue::Type::kInt;
-      const std::size_t start = pos_;
-      if (c == '-') ++pos_;
-      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
-        ++pos_;
-      if (pos_ < text_.size() &&
-          (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E'))
-        fail("kernel fields are integers; got a float");
-      if (pos_ == start + (c == '-' ? 1u : 0u)) fail("bad number");
-      v.num = std::stoll(text_.substr(start, pos_ - start));
-      return v;
-    }
-    fail(std::string("unexpected character '") + c + "'");
-  }
-
-  JsonValue string_value() {
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    v.line = line_;
-    expect('"');
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c == '\n') fail("newline inside string");
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char e = text_[pos_++];
-        if (e == '"' || e == '\\' || e == '/')
-          v.str += e;
-        else if (e == 'n')
-          v.str += '\n';
-        else
-          fail("unsupported escape sequence");
-        continue;
-      }
-      v.str += c;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-};
+using JsonValue = json::Value;
 
 // ---------------------------------------------------------------------------
 // JSON -> kir::Kernel, with strict unknown-key rejection.
@@ -461,8 +312,12 @@ std::string serialize_kernel(const kir::Kernel& k) {
 }
 
 kir::Kernel parse_kernel(const std::string& json_text) {
-  JsonReader reader(json_text);
-  kir::Kernel k = kernel_from_json(reader.parse());
+  return kernel_from_json_value(
+      json::parse_value(json_text, "kernel json", /*allow_float=*/false));
+}
+
+kir::Kernel kernel_from_json_value(const json::Value& root) {
+  kir::Kernel k = kernel_from_json(root);
   kir::validate(k);
   return k;
 }

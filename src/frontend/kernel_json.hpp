@@ -33,6 +33,7 @@
 
 #include <string>
 
+#include "frontend/json_value.hpp"
 #include "kir/kernel.hpp"
 
 namespace gnndse::frontend {
@@ -46,6 +47,10 @@ std::string serialize_kernel(const kir::Kernel& k);
 /// std::invalid_argument with a line-annotated message on syntax errors,
 /// unknown keys/kinds, or IR-validation failures.
 kir::Kernel parse_kernel(const std::string& json_text);
+
+/// Same, from an already-parsed JSON value (the serve protocol embeds
+/// kernel objects inside request lines); validates before returning.
+kir::Kernel kernel_from_json_value(const json::Value& root);
 
 /// Reads and parses `path`; the error message names the file. Throws
 /// std::invalid_argument on unreadable files and parse/validation errors.

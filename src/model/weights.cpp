@@ -65,4 +65,50 @@ bool weights_exist(const std::string& path) {
   return in && magic == kMagic;
 }
 
+std::vector<tensor::Tensor> copy_params(
+    const std::vector<tensor::Parameter*>& params) {
+  std::vector<tensor::Tensor> out;
+  out.reserve(params.size());
+  for (const auto* p : params) out.push_back(p->value);
+  return out;
+}
+
+std::vector<tensor::Tensor> load_raw_params(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_raw_params: cannot open " + path);
+  std::uint32_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (magic != kMagic)
+    throw std::runtime_error("load_raw_params: bad magic in " + path);
+  std::vector<tensor::Tensor> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof rank);
+    if (!in || rank > 8)
+      throw std::runtime_error("load_raw_params: corrupt header in " + path);
+    std::vector<std::int64_t> shape(rank);
+    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof d);
+    tensor::Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    out.push_back(std::move(t));
+  }
+  if (!in) throw std::runtime_error("load_raw_params: truncated file " + path);
+  return out;
+}
+
+void assign_params(const std::vector<tensor::Parameter*>& params,
+                   const std::vector<tensor::Tensor>& values) {
+  if (params.size() != values.size())
+    throw std::runtime_error("assign_params: parameter count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->value.shape() != values[i].shape())
+      throw std::runtime_error("assign_params: shape mismatch");
+    params[i]->value = values[i];
+  }
+  tensor::bump_params_version();
+}
+
 }  // namespace gnndse::model

@@ -23,4 +23,21 @@ void load_params(const std::vector<tensor::Parameter*>& params,
 /// True when `path` exists and holds a weight file.
 bool weights_exist(const std::string& path);
 
+/// Deep copies of the current parameter values — the immutable snapshot
+/// blobs the serve model slot hands to concurrent consumers.
+std::vector<tensor::Tensor> copy_params(
+    const std::vector<tensor::Parameter*>& params);
+
+/// Reads a weight file into freestanding tensors (no model required), so a
+/// snapshot can be taken without constructing a throwaway model first.
+/// Throws std::runtime_error on I/O failure or a bad header.
+std::vector<tensor::Tensor> load_raw_params(const std::string& path);
+
+/// Assigns blob values into a model's parameters (count- and shape-checked;
+/// throws std::runtime_error on mismatch) and bumps
+/// tensor::params_version() so parameter-keyed caches (the TransformerConv
+/// edge projections) refresh.
+void assign_params(const std::vector<tensor::Parameter*>& params,
+                   const std::vector<tensor::Tensor>& values);
+
 }  // namespace gnndse::model

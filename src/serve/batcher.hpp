@@ -1,0 +1,109 @@
+// Request coalescing for the predict fast path.
+//
+// Connection threads submit (kernel, config) pairs and get a future; a
+// single flush thread collects whatever accumulated — up to
+// GNNDSE_SERVE_BATCH requests, waiting at most GNNDSE_SERVE_BATCH_US
+// microseconds after the first one arrives — and runs them as ONE
+// disjoint-union GraphBatch through each model head. Batch composition
+// does not change the numbers (per-row matmuls, per-segment softmax;
+// enforced by tests/test_fastpath.cpp), so a prediction is bit-identical
+// whether it rode alone or coalesced with 31 strangers.
+//
+// The flush thread owns a private ModelInstance; it re-checks the ModelSlot
+// before every flush, so a hot swap takes effect on the next batch while
+// the in-flight one finishes on the snapshot it started with.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_slot.hpp"
+
+namespace gnndse::serve {
+
+struct BatcherOptions {
+  /// Flush when this many predicts are pending (GNNDSE_SERVE_BATCH).
+  int max_batch = 16;
+  /// ... or this long after the first pending request arrived
+  /// (GNNDSE_SERVE_BATCH_US).
+  std::int64_t max_wait_us = 2000;
+
+  static BatcherOptions from_env();
+};
+
+struct PredictResult {
+  bool ok = false;
+  std::string error;
+  /// Normalized objective predictions (model::Objective order: latency,
+  /// DSP, LUT, FF, BRAM) and the classifier's validity probability —
+  /// exactly the numbers ModelDse ranks with.
+  std::array<float, model::kNumObjectives> predicted{};
+  float p_valid = 0.0f;
+  /// Snapshot version that produced the numbers, and how many requests
+  /// shared the batch (clients assert coalescing happened with this).
+  std::uint64_t model_version = 0;
+  int batch_size = 0;
+};
+
+/// Single-sample reference prediction through a private instance, no
+/// coalescing — the path `gnndse predict` and the e2e check compare the
+/// daemon's batched responses against. Bit-identical to a coalesced
+/// response on the same snapshot version (batch composition independence).
+/// The instance must already be ensure()d on a snapshot.
+PredictResult predict_single(ModelInstance& instance,
+                             model::SampleFactory& factory,
+                             const kir::Kernel& kernel,
+                             const hlssim::DesignConfig& config);
+
+class Batcher {
+ public:
+  /// The factory may be shared with other featurize() users (that call is
+  /// thread-safe); the slot is the daemon's swappable model.
+  Batcher(ModelSlot& slot, model::SampleFactory& factory,
+          const BatcherOptions& opts);
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Enqueues one prediction; the future resolves after the batch it rides
+  /// in flushes. A featurization error fails only this request; a model
+  /// error fails the whole batch. Never throws after construction —
+  /// failures come back through the future.
+  std::future<PredictResult> submit(kir::Kernel kernel,
+                                    hlssim::DesignConfig config);
+
+  /// Flushes everything still queued, then joins the worker. Subsequent
+  /// submits fail immediately. Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  struct Item {
+    kir::Kernel kernel;
+    hlssim::DesignConfig config;
+    std::promise<PredictResult> promise;
+  };
+
+  void worker();
+  void flush(std::vector<Item>& items);
+
+  ModelSlot& slot_;
+  model::SampleFactory& factory_;
+  BatcherOptions opts_;
+  ModelInstance instance_;  // touched only by the worker thread
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace gnndse::serve

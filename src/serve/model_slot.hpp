@@ -1,0 +1,94 @@
+// Hot-swappable model bundle for the serve daemon.
+//
+// A Trainer (and the PredictiveModel underneath it) is a single-consumer
+// object: forward_infer writes into the trainer's InferenceSession
+// workspace and stashes `last_embedding_infer_`, so sharing one across
+// threads races. The daemon therefore never shares live models. Instead it
+// shares immutable *snapshots* — version-stamped parameter blobs plus the
+// normalizer factor — and every consumer (the batcher's flush thread, each
+// sweep job) owns a private ModelInstance it lazily rebuilds from the
+// current snapshot.
+//
+// Hot swap = install a new snapshot into the ModelSlot. In-flight batches
+// keep the shared_ptr to the old snapshot and finish on the weights they
+// started with; the next ensure() call picks up the new version. Responses
+// carry the version so clients can tell which weights produced them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dse/pipeline.hpp"
+
+namespace gnndse::serve {
+
+/// Immutable weights snapshot. `version` is stamped by ModelSlot::install;
+/// fresh snapshots carry 0.
+struct ModelSnapshot {
+  std::uint64_t version = 0;
+  double norm_factor = 1.0;
+  /// Architecture shared by the three heads (out_dim is overridden per
+  /// head: 4 for main, 1 for bram/classifier).
+  model::ModelOptions base;
+  std::vector<tensor::Tensor> main_params, bram_params, cls_params;
+};
+
+using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
+
+/// Deep-copies the current weights out of a trained bundle. The result is
+/// mutable only until ModelSlot::install stamps and publishes it.
+std::shared_ptr<ModelSnapshot> snapshot_from_trained(
+    dse::TrainedModels& models, double norm_factor);
+
+/// Reads <prefix>.{main,bram,cls}.bin without constructing models —
+/// the reload-model admin path. Throws std::runtime_error on I/O failure.
+std::shared_ptr<ModelSnapshot> snapshot_from_files(
+    const std::string& prefix, const model::ModelOptions& base,
+    double norm_factor);
+
+/// The swappable slot: holds the current snapshot behind a mutex (a grab is
+/// one shared_ptr copy, never blocking on model work).
+class ModelSlot {
+ public:
+  SnapshotPtr current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return snap_;
+  }
+
+  /// Stamps the snapshot with the next version and makes it current.
+  /// Returns the stamped version. Counts serve.model_swaps for every
+  /// install after the first.
+  std::uint64_t install(std::shared_ptr<ModelSnapshot> next);
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotPtr snap_;
+  std::uint64_t last_version_ = 0;
+};
+
+/// One consumer's private models + trainers, rebuilt on demand from a
+/// snapshot. Not thread-safe — exactly one thread drives an instance.
+class ModelInstance {
+ public:
+  /// Rebuilds models/trainers iff `snap` is a different version than the
+  /// one currently loaded (a version match is a cheap no-op).
+  void ensure(const SnapshotPtr& snap);
+
+  dse::ModelBundle bundle() {
+    return dse::ModelBundle{main_trainer_.get(), bram_trainer_.get(),
+                            cls_trainer_.get()};
+  }
+  const model::Normalizer& normalizer() const { return norm_; }
+  std::uint64_t version() const { return snap_ ? snap_->version : 0; }
+
+ private:
+  SnapshotPtr snap_;
+  model::Normalizer norm_;
+  std::unique_ptr<model::PredictiveModel> main_model_, bram_model_, cls_model_;
+  std::unique_ptr<model::Trainer> main_trainer_, bram_trainer_, cls_trainer_;
+};
+
+}  // namespace gnndse::serve
