@@ -1,0 +1,121 @@
+// Serial vs pipelined sweep engine on the DSE workload: the same atax
+// exhaustive sweep bench_fastpath times, run once with the stages
+// back-to-back (DseOptions::pipeline = false) and once with the
+// producer/consumer engine overlapping featurize, multi-head predict, and
+// frontier rank. Writes BENCH_sweep.json with the throughput comparison
+// and the pipelined run's per-stage breakdown + overlap ratio.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dse/dse.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gnndse;
+
+namespace {
+
+/// Medians a few repetitions to keep the JSON stable on noisy machines.
+template <typename Fn>
+double median_seconds(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    util::Timer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  auto session = bench::make_report_session("bench_sweep");
+  oracle::OracleStack oracle;
+  auto kernels = kernels::make_training_kernels();
+  db::Database database = bench::make_initial_database(oracle);
+  model::SampleFactory factory;
+  dse::PipelineOptions po = bench::scaled_pipeline_options();
+  dse::TrainedModels models(database, kernels, factory, po,
+                            bench::bundle_cache_prefix());
+  dse::ModelDse dse(models.bundle(), models.normalizer(), factory);
+
+  dse::DseOptions dopts;
+  dopts.max_exhaustive = 8'000;
+  dopts.time_limit_seconds = 1e9;  // sweep-bound, not time-bound
+  const kir::Kernel sweep_kernel = kernels::make_kernel("atax");
+  const int reps = util::by_scale(3, 5, 7);
+  std::uint64_t configs = 0;
+  double serial_seconds = 0.0, pipelined_seconds = 0.0;
+  dse::SweepStageStats stages;  // from the last pipelined run
+
+  for (bool pipelined : {false, true}) {
+    dopts.pipeline = pipelined;
+    {  // warm-up (templates, batch slots, workspaces, engine thread)
+      util::Rng wrng(23);
+      dse.run(sweep_kernel, dopts, wrng);
+    }
+    const double secs = median_seconds(reps, [&] {
+      util::Rng drng(23);
+      dse::DseResult r = dse.run(sweep_kernel, dopts, drng);
+      configs = r.num_explored;
+      if (pipelined) stages = r.stages;
+    });
+    (pipelined ? pipelined_seconds : serial_seconds) = secs;
+    util::log_info("dse_sweep pipelined=", pipelined, " sec=", secs,
+                   " configs=", configs);
+  }
+
+  const double units = static_cast<double>(configs);
+  const double serial_per_sec =
+      serial_seconds > 0.0 ? units / serial_seconds : 0.0;
+  const double pipelined_per_sec =
+      pipelined_seconds > 0.0 ? units / pipelined_seconds : 0.0;
+  const double speedup =
+      pipelined_seconds > 0.0 ? serial_seconds / pipelined_seconds : 0.0;
+
+  std::ofstream out("BENCH_sweep.json");
+  out << "{\n"
+      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"dse_sweep\": {\n"
+      << "    \"configs_per_sweep\": " << configs << ",\n"
+      << "    \"serial_seconds\": " << serial_seconds << ",\n"
+      << "    \"pipelined_seconds\": " << pipelined_seconds << ",\n"
+      << "    \"serial_configs_per_sec\": " << serial_per_sec << ",\n"
+      << "    \"pipelined_configs_per_sec\": " << pipelined_per_sec << ",\n"
+      << "    \"speedup\": " << speedup << "\n"
+      << "  },\n"
+      << "  \"pipelined_stages\": {\n"
+      << "    \"featurize_ms\": " << stages.featurize_ms << ",\n"
+      << "    \"predict_ms\": " << stages.predict_ms << ",\n"
+      << "    \"rank_ms\": " << stages.rank_ms << ",\n"
+      << "    \"wall_ms\": " << stages.wall_ms << ",\n"
+      << "    \"overlap_ratio\": " << stages.overlap_ratio << ",\n"
+      << "    \"chunks\": " << stages.chunks << "\n"
+      << "  }\n"
+      << "}\n";
+
+  util::Table table("Serial vs pipelined sweep");
+  table.header({"engine", "seconds", "cfg/s", "speedup"});
+  table.row({"serial", util::Table::fmt(serial_seconds, 4),
+             util::Table::fmt(serial_per_sec, 1), "1.00"});
+  table.row({"pipelined", util::Table::fmt(pipelined_seconds, 4),
+             util::Table::fmt(pipelined_per_sec, 1),
+             util::Table::fmt(speedup, 2)});
+  table.print(std::cout);
+  std::cout << "stage breakdown (pipelined): featurize "
+            << util::Table::fmt(stages.featurize_ms, 1) << " ms, predict "
+            << util::Table::fmt(stages.predict_ms, 1) << " ms, rank "
+            << util::Table::fmt(stages.rank_ms, 1) << " ms, wall "
+            << util::Table::fmt(stages.wall_ms, 1) << " ms, overlap "
+            << util::Table::fmt(stages.overlap_ratio, 2) << "\n";
+  std::cout << "wrote BENCH_sweep.json\n";
+  return 0;
+}

@@ -40,8 +40,10 @@ int main() {
   kir::Kernel target = reg.get("spmv-ellpack");
   dspace::DesignSpace space(target);
   std::vector<db::DataPoint> all;
-  space.for_each([&](const hlssim::DesignConfig& cfg) {
-    all.push_back({target.name, cfg, oracle.evaluate(target, cfg)});
+  space.for_each([&](hlssim::DesignConfig&& cfg) {
+    hlssim::HlsResult res = oracle.evaluate(target, cfg);
+    all.push_back({target.name, std::move(cfg), std::move(res)});
+    return true;
   });
   auto true_front = analysis::pareto_front(all);
 

@@ -4,12 +4,15 @@
 Stdlib-only. Reads a telemetry run report (obs::report_json, the file the
 obs_report_emit ctest fixture writes) and a baseline JSON with the shape
 
-  {"histograms": {"dse.predict_chunk_ms": {"p50_ms": <float>}, ...}}
+  {"histograms": {"dse.predict_chunk_ms": {"p50_ms": <float>}, ...},
+   "gauges": {"dse.sweep_configs_per_sec": {"value": <float>}}}
 
 (bench/BASELINE_perf.json — a pruned copy of a known-good report). For each
 baseline histogram present in the report, the report's p50 must not exceed
 `ratio` times the baseline p50. Histograms named in the baseline but absent
 from the report fail: the instrumented path fell out of the pipeline.
+Baseline gauges are throughput floors: the report's value must be at least
+baseline / ratio (the inverse band — gauges here are rates, not latencies).
 
 The 2x default absorbs container/CI jitter while still catching the
 regressions that matter (an accidental tape fallback in the DSE loop is
@@ -25,7 +28,14 @@ import argparse
 import json
 import sys
 
-GATED_HISTOGRAMS = ["dse.predict_chunk_ms", "dse.featurize_chunk_ms"]
+GATED_HISTOGRAMS = [
+    "dse.predict_chunk_ms",
+    "dse.featurize_chunk_ms",
+    "dse.frontier_keep_ms",
+    "dse.pipeline.stage_ms",
+]
+# Rates gated as floors (report >= baseline / ratio).
+GATED_GAUGES = ["dse.sweep_configs_per_sec"]
 
 
 def load(path):
@@ -49,9 +59,10 @@ def main():
 
     report = load(args.report)
     histograms = report.get("histograms", {})
+    gauges = report.get("gauges", {})
 
     if args.update:
-        baseline = {"histograms": {}}
+        baseline = {"histograms": {}, "gauges": {}}
         for name in GATED_HISTOGRAMS:
             if name not in histograms:
                 print(f"check_perf: report has no histogram {name}",
@@ -61,6 +72,12 @@ def main():
             baseline["histograms"][name] = {
                 "p50_ms": h["p50_ms"], "count": h["count"],
             }
+        for name in GATED_GAUGES:
+            if name not in gauges:
+                print(f"check_perf: report has no gauge {name}",
+                      file=sys.stderr)
+                sys.exit(2)
+            baseline["gauges"][name] = {"value": gauges[name]}
         with open(args.baseline, "w", encoding="utf-8") as f:
             json.dump(baseline, f, indent=2)
             f.write("\n")
@@ -89,6 +106,24 @@ def main():
         print(f"check_perf: {status}: {name} p50 {got:.3f} ms vs baseline "
               f"{want:.3f} ms ({ratio:.2f}x, budget {args.ratio:.1f}x)")
         if ratio > args.ratio:
+            failed = True
+
+    for name, ref in load(args.baseline).get("gauges", {}).items():
+        want = ref.get("value", 0.0)
+        if want <= 0:
+            print(f"check_perf: baseline value for {name} is {want}; skipping")
+            continue
+        if name not in gauges:
+            print(f"check_perf: FAIL: report is missing gauge {name}",
+                  file=sys.stderr)
+            failed = True
+            continue
+        got = gauges[name]
+        floor = want / args.ratio
+        status = "OK" if got >= floor else "FAIL"
+        print(f"check_perf: {status}: {name} {got:.1f} vs baseline "
+              f"{want:.1f} (floor {floor:.1f} at {args.ratio:.1f}x band)")
+        if got < floor:
             failed = True
     sys.exit(1 if failed else 0)
 

@@ -12,6 +12,7 @@ Usage:
       [--require-span-anywhere NAME ...]    (any depth, repeatable)
       [--require-counter NAME ...]          (repeatable)
       [--require-gauge NAME ...]            (repeatable)
+      [--require-histogram NAME ...]        (repeatable, count must be > 0)
       [--no-defaults]  only check the schema plus explicit requirements
 
 Default requirements (the standing pipeline stages):
@@ -20,6 +21,7 @@ Default requirements (the standing pipeline stages):
   counters:     dse.configs_explored, hlssim.evaluations, oracle.misses,
                 gnn.template_misses, gnn.fastpath_forwards
   gauges:       parallel.pool_size, parallel.queue_depth
+  histograms:   dse.pipeline.stage_ms
 """
 
 import argparse
@@ -60,6 +62,13 @@ DEFAULT_GAUGES = [
     # Published by the SIMD dispatch layer (src/util/cpu.cpp) as soon as the
     # level resolves — any run that executed a dispatched kernel has it.
     "tensor.simd_level",
+]
+
+# Every stage of the sweep engine (featurize / predict / rank) observes
+# into the combined stage histogram; its absence means the DSE loop ran
+# outside the engine entirely.
+DEFAULT_HISTOGRAMS = [
+    "dse.pipeline.stage_ms",
 ]
 
 HISTOGRAM_KEYS = ("count", "sum_ms", "min_ms", "max_ms", "p50_ms", "p95_ms",
@@ -127,6 +136,7 @@ def main():
     ap.add_argument("--require-span-anywhere", action="append", default=[])
     ap.add_argument("--require-counter", action="append", default=[])
     ap.add_argument("--require-gauge", action="append", default=[])
+    ap.add_argument("--require-histogram", action="append", default=[])
     ap.add_argument("--no-defaults", action="store_true")
     args = ap.parse_args()
 
@@ -172,11 +182,13 @@ def main():
     anywhere = list(args.require_span_anywhere)
     counters = list(args.require_counter)
     gauges = list(args.require_gauge)
+    req_histograms = list(args.require_histogram)
     if not args.no_defaults:
         spans += DEFAULT_SPANS
         anywhere += DEFAULT_SPANS_ANYWHERE
         counters += DEFAULT_COUNTERS
         gauges += DEFAULT_GAUGES
+        req_histograms += DEFAULT_HISTOGRAMS
     for path in spans:
         if find_span(doc["spans"], path) is None:
             fail(f"required span missing: {path}")
@@ -193,6 +205,11 @@ def main():
     for name in gauges:
         if name not in doc["gauges"]:
             fail(f"required gauge missing: {name}")
+    for name in req_histograms:
+        if name not in doc["histograms"]:
+            fail(f"required histogram missing: {name}")
+        elif doc["histograms"][name]["count"] <= 0:
+            fail(f"required histogram {name} has no observations")
 
     n_spans = sum(1 for _ in iter_spans(doc["spans"]))
     print(f"check_report: OK: {args.report} ({doc['tool']}, "

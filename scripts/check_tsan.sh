@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # ThreadSanitizer pass over the parallel-execution layer: configures a
 # -DGNNDSE_TSAN=ON build in build-tsan/, builds the thread-safety suites
-# (test_parallel, test_obs, test_oracle, test_fastpath, test_serve), and
-# runs them via `ctest -L tsan`. test_obs includes the live-telemetry races:
+# (test_parallel, test_obs, test_oracle, test_fastpath, test_simd,
+# test_serve, test_sweep), and runs them via `ctest -L tsan`. test_sweep
+# covers the pipelined sweep engine (producer/consumer slot handoff,
+# concurrent multi-head predict, sweeps under factory traffic).
+# test_obs includes the live-telemetry races:
 # concurrent
 # Histogram::observe vs *_snapshot(), heartbeat-sampler start/stop under
 # metric hammering, and cross-thread span-context adoption.
@@ -35,5 +38,5 @@ if ! "$CXX_BIN" -fsanitize=thread -o "$probe_dir/probe" "$probe_dir/probe.cpp" \
 fi
 
 cmake -B "$BUILD_DIR" -S . -DGNNDSE_TSAN=ON
-cmake --build "$BUILD_DIR" --target test_parallel test_obs test_oracle test_fastpath test_simd test_serve -j
+cmake --build "$BUILD_DIR" --target test_parallel test_obs test_oracle test_fastpath test_simd test_serve test_sweep -j
 ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/env.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -20,24 +21,6 @@ ModelDse::ModelDse(ModelBundle models, const model::Normalizer& norm,
     : models_(models), norm_(norm), factory_(factory) {}
 
 namespace {
-
-/// Ranking key: predicted-valid designs that fit come first, ordered by
-/// predicted latency target (higher = faster design).
-double ranking_score(const RankedDesign& d, double util_threshold) {
-  double score = d.predicted[model::kLatency];
-  if (d.p_valid < 0.5f) score -= 100.0;
-  const double worst_util =
-      std::max({d.predicted[model::kDsp], d.predicted[model::kLut],
-                d.predicted[model::kFf], d.predicted[model::kBram]});
-  if (worst_util >= util_threshold)
-    score -= 10.0 * (worst_util - util_threshold + 0.1);
-  return score;
-}
-
-float sigmoidf(float x) {
-  return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
-                : std::exp(x) / (1.0f + std::exp(x));
-}
 
 /// Applies one site option to a configuration.
 void apply_site(const dspace::PragmaSite& site, std::int64_t opt,
@@ -58,93 +41,15 @@ void apply_site(const dspace::PragmaSite& site, std::int64_t opt,
 
 }  // namespace
 
-void ModelDse::score_chunk(const kir::Kernel& kernel,
-                           std::vector<DesignConfig>& configs,
-                           std::vector<RankedDesign>& ranked,
-                           bool use_fast_path) {
-  if (configs.empty()) return;
-  static obs::Histogram& h_feat = obs::histogram("dse.featurize_chunk_ms");
-  static obs::Histogram& h_pred = obs::histogram("dse.predict_chunk_ms");
-
-  const tensor::Tensor* main_pred = nullptr;
-  const tensor::Tensor* bram_pred = nullptr;
-  const tensor::Tensor* valid_pred = nullptr;
-  // Tape-path temporaries (owning); the fast path borrows the per-trainer
-  // inference workspaces instead (three distinct sessions, so all three
-  // references stay valid through the fill loop).
-  tensor::Tensor main_t, bram_t, valid_t;
-
-  if (use_fast_path) {
-    // One shared batch for the whole chunk: the skeleton (topology,
-    // static features) comes from the factory cache; only the pragma
-    // slots are rewritten per config (fans out across the pool).
-    util::Timer feat_timer;
-    const gnn::GraphBatch& batch = factory_.batch_for(kernel, configs);
-    obs::observe(h_feat, feat_timer.millis());
-
-    util::Timer pred_timer;
-    main_pred = &models_.regression_main->predict_batch(batch);
-    bram_pred = &models_.regression_bram->predict_batch(batch);
-    valid_pred = &models_.classifier->predict_batch(batch);
-    obs::observe(h_pred, pred_timer.millis());
-  } else {
-    // Legacy tape path (bench_fastpath's baseline): full per-config
-    // featurization (featurize_full recomputes the node-feature matrix
-    // from the program graph instead of copying the cached template —
-    // that is what every release before the fast path did), then one
-    // batched tape forward per head.
-    util::Timer feat_timer;
-    std::vector<gnn::GraphData> graphs(configs.size());
-    util::parallel_for(
-        static_cast<std::int64_t>(configs.size()), 8,
-        [&](std::int64_t begin, std::int64_t end) {
-          for (std::int64_t i = begin; i < end; ++i)
-            graphs[static_cast<std::size_t>(i)] = factory_.featurize_full(
-                kernel, configs[static_cast<std::size_t>(i)]);
-        });
-    obs::observe(h_feat, feat_timer.millis());
-    std::vector<const gnn::GraphData*> ptrs;
-    ptrs.reserve(graphs.size());
-    for (const auto& g : graphs) ptrs.push_back(&g);
-
-    util::Timer pred_timer;
-    main_t = models_.regression_main->predict_graphs_tape(ptrs);
-    bram_t = models_.regression_bram->predict_graphs_tape(ptrs);
-    valid_t = models_.classifier->predict_graphs_tape(ptrs);
-    obs::observe(h_pred, pred_timer.millis());
-    main_pred = &main_t;
-    bram_pred = &bram_t;
-    valid_pred = &valid_t;
-  }
-
-  static obs::Counter& c_pruned = obs::counter("dse.pruned_by_classifier");
-  std::int64_t pruned = 0;
-  ranked.reserve(ranked.size() + configs.size());
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    RankedDesign d;
-    d.config = std::move(configs[i]);
-    const auto row = static_cast<std::int64_t>(i);
-    d.predicted[model::kLatency] = main_pred->at(row, 0);
-    d.predicted[model::kDsp] = main_pred->at(row, 1);
-    d.predicted[model::kLut] = main_pred->at(row, 2);
-    d.predicted[model::kFf] = main_pred->at(row, 3);
-    d.predicted[model::kBram] = bram_pred->at(row, 0);
-    d.p_valid = sigmoidf(valid_pred->at(row, 0));
-    if (d.p_valid < 0.5f) ++pruned;
-    ranked.push_back(std::move(d));
-  }
-  obs::add(c_pruned, pruned);
-}
-
 DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
                         util::Rng& rng) {
-  static obs::Counter& c_explored = obs::counter("dse.configs_explored");
   static obs::Counter& c_beam = obs::counter("dse.beam_expansions");
   static obs::Counter& c_random = obs::counter("dse.random_samples");
-  // Progress gauges feed the heartbeat stream's eta_seconds rate.
+  // Progress gauges feed the heartbeat stream's eta_seconds rate (the
+  // engine keeps dse.search_elapsed_seconds / dse.frontier_size /
+  // dse.configs_explored current per chunk).
   static obs::Gauge& g_limit = obs::gauge("dse.time_limit_seconds");
   static obs::Gauge& g_elapsed = obs::gauge("dse.search_elapsed_seconds");
-  static obs::Gauge& g_frontier = obs::gauge("dse.frontier_size");
   // The span's internal stopwatch doubles as the search time limit (the
   // old bare util::Timer), so timing works whether or not obs records.
   obs::ScopedSpan timer("dse.search");
@@ -152,7 +57,6 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
   obs::set(g_elapsed, 0.0);
   const dspace::DesignSpace& space = factory_.space(kernel);
   DseResult result;
-  std::vector<RankedDesign> ranked;
 
   // Checked between chunks: cancellation is cooperative, so one in-flight
   // chunk finishes scoring before the run winds down.
@@ -160,38 +64,32 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
     return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
   };
 
-  auto flush_and_keep_top = [&](std::vector<DesignConfig>& pending) {
-    if (cancelled()) {
-      pending.clear();
-      return;
-    }
-    score_chunk(kernel, pending, ranked, opts.use_fast_path);
-    result.num_explored += pending.size();
-    obs::add(c_explored, static_cast<std::int64_t>(pending.size()));
-    pending.clear();
-    std::sort(ranked.begin(), ranked.end(),
-              [&](const RankedDesign& a, const RankedDesign& b) {
-                return ranking_score(a, opts.util_threshold) >
-                       ranking_score(b, opts.util_threshold);
-              });
-    const std::size_t keep = static_cast<std::size_t>(
-        std::max(opts.top_m, opts.beam_width) * 4);
-    if (ranked.size() > keep) ranked.resize(keep);
-    obs::set(g_elapsed, timer.seconds());
-    obs::set(g_frontier, static_cast<double>(ranked.size()));
+  SweepEngineOptions eng_opts;
+  eng_opts.chunk = opts.chunk;
+  eng_opts.keep = static_cast<std::size_t>(
+      std::max(opts.top_m, opts.beam_width)) * 4;
+  eng_opts.util_threshold = opts.util_threshold;
+  eng_opts.use_fast_path = opts.use_fast_path;
+  eng_opts.pipelined =
+      opts.pipeline && util::env_int("GNNDSE_SWEEP_PIPELINE", 1) != 0;
+  eng_opts.cancel = opts.cancel;
+  SweepEngine engine(models_, factory_, kernel, eng_opts);
+
+  std::uint64_t pushed = 0;
+  auto budget_left = [&] {
+    return opts.max_configs == 0 || pushed < opts.max_configs;
   };
 
   if (space.pruned_size() <= opts.max_exhaustive) {
-    // Exhaustive sweep in inference-sized chunks.
-    std::vector<DesignConfig> pending;
-    pending.reserve(static_cast<std::size_t>(opts.chunk));
-    space.for_each([&](const DesignConfig& cfg) {
-      if (cancelled()) return;  // enumeration keeps going, scoring stops
-      pending.push_back(cfg);
-      if (pending.size() >= static_cast<std::size_t>(opts.chunk))
-        flush_and_keep_top(pending);
+    // Exhaustive sweep: enumeration streams straight into the engine and
+    // stops the moment the run is cancelled or the budget is spent — no
+    // decode work for configs that would only be dropped.
+    space.for_each([&](DesignConfig&& cfg) {
+      if (cancelled() || !budget_left()) return false;
+      ++pushed;
+      engine.push(std::move(cfg));
+      return true;
     });
-    flush_and_keep_top(pending);
   } else {
     // Heuristic search (§4.4): beam sweep over the priority-ordered sites.
     std::vector<int> order;
@@ -204,58 +102,53 @@ DseResult ModelDse::run(const kir::Kernel& kernel, const DseOptions& opts,
     }
     std::vector<DesignConfig> beam{DesignConfig::neutral(kernel)};
     db::Database seen;  // dedupe explored configs
-    std::vector<DesignConfig> pending;
-    bool out_of_time = false;
+    bool stopped = false;
     for (int site_idx : order) {
-      if (timer.seconds() > opts.time_limit_seconds || cancelled()) {
-        out_of_time = true;
+      if (timer.seconds() > opts.time_limit_seconds || cancelled() ||
+          !budget_left()) {
+        stopped = true;
         break;
       }
       const auto& site = space.sites()[static_cast<std::size_t>(site_idx)];
       obs::add(c_beam);
       for (const DesignConfig& base : beam) {
         for (std::int64_t opt : site.options) {
+          if (!budget_left()) break;
           DesignConfig cfg = base;
           apply_site(site, opt, cfg);
           if (space.is_pruned(cfg)) continue;
           if (seen.contains(kernel.name, cfg)) continue;
           seen.add(db::DataPoint{kernel.name, cfg, {}});
-          pending.push_back(std::move(cfg));
-          if (pending.size() >= static_cast<std::size_t>(opts.chunk))
-            flush_and_keep_top(pending);
+          ++pushed;
+          engine.push(std::move(cfg));
         }
+        if (!budget_left()) break;
       }
-      flush_and_keep_top(pending);
-      // Refresh the beam from the current leaders.
-      beam.clear();
-      for (std::size_t i = 0;
-           i < ranked.size() &&
-           i < static_cast<std::size_t>(opts.beam_width);
-           ++i)
-        beam.push_back(ranked[i].config);
+      // Refresh the beam from the current leaders (drains the pipeline —
+      // the next site's expansions depend on these ranks).
+      beam = engine.top_configs(static_cast<std::size_t>(opts.beam_width));
       if (beam.empty()) beam.push_back(DesignConfig::neutral(kernel));
     }
     // Spend any remaining budget on random exploration.
-    while (!out_of_time && timer.seconds() < opts.time_limit_seconds &&
-           !cancelled()) {
-      pending.clear();
-      for (int i = 0; i < opts.chunk; ++i) {
+    while (!stopped && timer.seconds() < opts.time_limit_seconds &&
+           !cancelled() && budget_left()) {
+      std::int64_t fresh = 0;
+      for (int i = 0; i < opts.chunk && budget_left(); ++i) {
         DesignConfig cfg = space.sample(rng);
         if (seen.contains(kernel.name, cfg)) continue;
         seen.add(db::DataPoint{kernel.name, cfg, {}});
-        pending.push_back(std::move(cfg));
+        ++pushed;
+        ++fresh;
+        engine.push(std::move(cfg));
       }
-      if (pending.empty()) break;
-      obs::add(c_random, static_cast<std::int64_t>(pending.size()));
-      flush_and_keep_top(pending);
+      if (fresh == 0) break;
+      obs::add(c_random, fresh);
     }
   }
 
-  std::sort(ranked.begin(), ranked.end(),
-            [&](const RankedDesign& a, const RankedDesign& b) {
-              return ranking_score(a, opts.util_threshold) >
-                     ranking_score(b, opts.util_threshold);
-            });
+  std::vector<RankedDesign> ranked = engine.finish();
+  result.num_explored = engine.num_scored();
+  result.stages = engine.stats();
   const auto m = static_cast<std::size_t>(opts.top_m);
   if (ranked.size() > m) {
     result.reserve.assign(ranked.begin() + static_cast<std::ptrdiff_t>(m),

@@ -4,9 +4,12 @@
 // Small spaces are swept exhaustively (the models run in milliseconds);
 // large spaces use the innermost-first pragma-ordering heuristic: a beam
 // sweep over the priority-ordered sites, followed by random exploration
-// until the time limit. The top-M candidates by predicted quality are then
-// evaluated with the real HLS substrate, exactly as GNN-DSE sends its
-// top-10 designs to the Merlin Compiler.
+// until the time limit. Both paths stream their candidates through the
+// pipelined SweepEngine (dse/sweep_engine.hpp), which overlaps chunk
+// featurization, multi-head prediction, and frontier ranking. The top-M
+// candidates by predicted quality are then evaluated with the real HLS
+// substrate, exactly as GNN-DSE sends its top-10 designs to the Merlin
+// Compiler.
 #pragma once
 
 #include <array>
@@ -17,6 +20,7 @@
 
 #include "db/database.hpp"
 #include "db/explorer.hpp"
+#include "dse/sweep_engine.hpp"
 #include "model/trainer.hpp"
 
 namespace gnndse::dse {
@@ -47,19 +51,25 @@ struct DseOptions {
   /// false restores the legacy per-head tape path — kept for the
   /// tape-vs-fast benchmark (bench_fastpath) and as an escape hatch.
   bool use_fast_path = true;
+  /// Pipelined sweep engine (dse/sweep_engine.hpp): overlap chunk
+  /// featurization with multi-head prediction and frontier keep.
+  /// Bit-identical to the serial engine at every thread count (enforced by
+  /// tests/test_sweep.cpp); false runs the stages back-to-back on the
+  /// calling thread, as every release before the engine did. The
+  /// GNNDSE_SWEEP_PIPELINE env var (0/1) overrides a true value — an
+  /// escape hatch for debugging, never an enable.
+  bool pipeline = true;
+  /// Hard cap on configurations handed to the models (0 = unlimited).
+  /// Unlike the wall-clock limit this budget is deterministic, so two runs
+  /// with the same cap score the same configs — the engine identity tests
+  /// use it to pin the heuristic path, and bounded production sweeps get a
+  /// predictable cost.
+  std::uint64_t max_configs = 0;
   /// Cooperative cancellation: another thread (the serve daemon's cancel
   /// request) sets the flag; the search checks it between chunks, stops
-  /// scoring, and returns with DseResult::cancelled set. nullptr = never
-  /// cancelled.
+  /// scoring *and enumerating*, and returns with DseResult::cancelled set.
+  /// nullptr = never cancelled.
   const std::atomic<bool>* cancel = nullptr;
-};
-
-struct RankedDesign {
-  hlssim::DesignConfig config;
-  /// Predicted normalized objectives (Objective order).
-  std::array<float, model::kNumObjectives> predicted{};
-  /// Classifier probability that the design is valid.
-  float p_valid = 0.0f;
 };
 
 struct DseResult {
@@ -71,16 +81,12 @@ struct DseResult {
   std::vector<RankedDesign> reserve;
   std::uint64_t num_explored = 0;
   double search_seconds = 0.0;  // model-driven search wall-clock
+  /// Per-stage timing of the sweep (SweepEngine::stats()): featurize /
+  /// predict / rank milliseconds, wall time, and the overlap ratio.
+  SweepStageStats stages;
   /// True when DseOptions::cancel fired: `top` holds the best designs
   /// ranked before the cancellation point.
   bool cancelled = false;
-};
-
-/// Bundles the three trained models GNN-DSE uses at inference time.
-struct ModelBundle {
-  model::Trainer* regression_main;  // latency/DSP/LUT/FF
-  model::Trainer* regression_bram;  // BRAM
-  model::Trainer* classifier;       // valid/invalid
 };
 
 class ModelDse {
@@ -107,12 +113,6 @@ class ModelDse {
                              db::Database* out_db = nullptr) const;
 
  private:
-  /// Scores one chunk and appends to `ranked`. Consumes `configs` (moves
-  /// them into the RankedDesigns); callers clear the vector afterwards.
-  void score_chunk(const kir::Kernel& kernel,
-                   std::vector<hlssim::DesignConfig>& configs,
-                   std::vector<RankedDesign>& ranked, bool use_fast_path);
-
   ModelBundle models_;
   const model::Normalizer& norm_;
   model::SampleFactory& factory_;

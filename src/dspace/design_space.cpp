@@ -128,13 +128,13 @@ bool DesignSpace::is_pruned(const DesignConfig& cfg) const {
 }
 
 void DesignSpace::for_each(
-    const std::function<void(const DesignConfig&)>& fn,
+    const std::function<bool(DesignConfig&&)>& fn,
     std::uint64_t limit) const {
   std::uint64_t emitted = 0;
   for (std::uint64_t i = 0; i < raw_size_; ++i) {
     DesignConfig cfg = decode(i);
     if (is_pruned(cfg)) continue;
-    fn(cfg);
+    if (!fn(std::move(cfg))) return;
     if (limit != 0 && ++emitted >= limit) return;
   }
 }

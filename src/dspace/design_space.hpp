@@ -53,9 +53,13 @@ class DesignSpace {
   /// (non-neutral pragma under a fine-grained-pipelined ancestor).
   bool is_pruned(const hlssim::DesignConfig& cfg) const;
 
-  /// Calls `fn` for every non-pruned configuration. Only sensible when
-  /// raw_size() is small enough to sweep; `limit` stops early (0 = all).
-  void for_each(const std::function<void(const hlssim::DesignConfig&)>& fn,
+  /// Calls `fn` for every non-pruned configuration, moving each freshly
+  /// decoded config into the visitor (no caller-side copy needed). The
+  /// visitor returns true to continue and false to stop enumerating
+  /// immediately — cooperative cancellation of a sweep must not pay for
+  /// decoding the rest of a large space. Only sensible when raw_size() is
+  /// small enough to sweep; `limit` stops early (0 = all).
+  void for_each(const std::function<bool(hlssim::DesignConfig&&)>& fn,
                 std::uint64_t limit = 0) const;
 
   /// Uniform random non-pruned configuration (rejection sampling).

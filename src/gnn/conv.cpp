@@ -1,5 +1,6 @@
 #include "gnn/conv.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/metrics.hpp"
@@ -149,18 +150,29 @@ const TransformerConv::EdgeProjection& TransformerConv::edge_projection(
     const GraphBatch& b) {
   static obs::Counter& c_rebuilds = obs::counter("gnn.edge_proj_rebuilds");
   const std::uint64_t pv = tensor::params_version();
-  if (eproj_.batch_id != b.batch_id || eproj_.params_version != pv ||
-      b.batch_id == 0) {
-    // Same computation as Linear::forward_infer on b.e (no bias): zeroed
-    // output + matmul_acc, so the cached tensors are bit-identical to the
-    // per-forward session results they replace.
-    eproj_.ek = tensor::matmul(b.e, we_k_.weight().value);
-    eproj_.ev = tensor::matmul(b.e, we_v_.weight().value);
-    eproj_.batch_id = b.batch_id;
-    eproj_.params_version = pv;
-    obs::add(c_rebuilds);
+  if (b.batch_id != 0) {
+    for (std::size_t i = 0; i < eproj_.size(); ++i) {
+      if (eproj_[i].batch_id == b.batch_id &&
+          eproj_[i].params_version == pv) {
+        if (i != 0)  // move-to-front so the LRU victim stays at the back
+          std::rotate(eproj_.begin(), eproj_.begin() + static_cast<long>(i),
+                      eproj_.begin() + static_cast<long>(i) + 1);
+        return eproj_.front();
+      }
+    }
   }
-  return eproj_;
+  // Miss: recycle the least-recently-used slot into the front.
+  std::rotate(eproj_.begin(), eproj_.end() - 1, eproj_.end());
+  EdgeProjection& slot = eproj_.front();
+  // Same computation as Linear::forward_infer on b.e (no bias): zeroed
+  // output + matmul_acc, so the cached tensors are bit-identical to the
+  // per-forward session results they replace.
+  slot.ek = tensor::matmul(b.e, we_k_.weight().value);
+  slot.ev = tensor::matmul(b.e, we_v_.weight().value);
+  slot.batch_id = b.batch_id;
+  slot.params_version = pv;
+  obs::add(c_rebuilds);
+  return slot;
 }
 
 const Tensor& TransformerConv::forward_infer(InferenceSession& s,

@@ -3,6 +3,8 @@
 // paper's M3/M4/M5 building blocks.
 #pragma once
 
+#include <array>
+
 #include "gnn/batch.hpp"
 #include "gnn/layers.hpp"
 
@@ -83,19 +85,23 @@ class TransformerConv : public ConvLayer {
   /// computes them once per (batch_id, params_version) instead of every
   /// forward — the DSE skeleton cache reuses one batch across a whole
   /// sweep, turning two [E, D] matmuls per chunk into once-per-sweep work.
-  /// Invalidation is automatic: make_batch mints fresh batch ids and
-  /// Adam::step()/load_params() bump tensor::params_version().
+  /// A small move-to-front LRU (kEdgeProjSlots) instead of a single entry:
+  /// the pipelined sweep engine double-buffers two batches with distinct
+  /// ids, and one slot would thrash on every alternation. Invalidation is
+  /// automatic: make_batch mints fresh batch ids and Adam::step()/
+  /// load_params() bump tensor::params_version().
   struct EdgeProjection {
     std::uint64_t batch_id = 0;
     std::uint64_t params_version = 0;
     tensor::Tensor ek, ev;  // [E, out]
   };
+  static constexpr std::size_t kEdgeProjSlots = 4;
   const EdgeProjection& edge_projection(const GraphBatch& b);
 
   Linear wq_, wk_, wv_, we_k_, we_v_, skip_, gate_;
   std::int64_t out_dim_;
   bool gated_residual_;
-  EdgeProjection eproj_;
+  std::array<EdgeProjection, kEdgeProjSlots> eproj_;
 };
 
 }  // namespace gnndse::gnn

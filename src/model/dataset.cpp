@@ -161,52 +161,65 @@ gnn::GraphData SampleFactory::featurize_full(const kir::Kernel& kernel,
   return g;
 }
 
-const gnn::GraphBatch& SampleFactory::batch_for(
-    const kir::Kernel& kernel, std::span<const hlssim::DesignConfig> configs) {
+std::shared_ptr<SampleFactory::BatchSlot> SampleFactory::acquire_slot(
+    const kir::Kernel& kernel, std::size_t size) {
   static obs::Counter& c_hits = obs::counter("gnn.batch_skeleton_hits");
   static obs::Counter& c_misses = obs::counter("gnn.batch_skeleton_misses");
-  if (configs.empty())
-    throw std::invalid_argument("batch_for: empty config list");
+  if (size == 0) throw std::invalid_argument("acquire_slot: empty batch");
+  const auto kc = cache_for(kernel);  // pins the template against eviction
+
+  {
+    // Free-list lookup (most-recently-released first, keyed by kernel +
+    // digest + batch size). A hit hands back an already-assembled skeleton
+    // whose batch_id is stable, so the conv layers' edge-projection caches
+    // stay warm across sweeps.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = free_slots_.begin(); it != free_slots_.end(); ++it) {
+      if ((*it)->kernel == kernel.name && (*it)->digest == kc->digest &&
+          (*it)->size == size) {
+        std::shared_ptr<BatchSlot> slot = std::move(*it);
+        free_slots_.erase(it);
+        obs::add(c_hits);
+        return slot;
+      }
+    }
+  }
+  obs::add(c_misses);
+  // Assemble the batch once from `size` copies of the template graph
+  // (pragma slots zero) — exactly what make_batch over featurized graphs
+  // produces for everything except the per-config slots written later.
+  gnn::GraphData proto;
+  proto.x = kc->base_x;
+  proto.e = kc->edge_feats;
+  proto.src = kc->src;
+  proto.dst = kc->dst;
+  proto.aux = tensor::Tensor({static_cast<std::int64_t>(kMaxPragmaSites) *
+                              graphgen::kPragmaVectorPerSite});
+  std::vector<const gnn::GraphData*> protos(size, &proto);
+  auto slot = std::make_shared<BatchSlot>();
+  slot->kernel = kernel.name;
+  slot->digest = kc->digest;
+  slot->size = size;
+  slot->batch = gnn::make_batch(protos);
+  return slot;
+}
+
+void SampleFactory::write_slot(const kir::Kernel& kernel,
+                               std::span<const hlssim::DesignConfig> configs,
+                               BatchSlot& slot) {
+  if (configs.size() != slot.size)
+    throw std::invalid_argument("write_slot: config count != slot size");
   obs::ScopedSpan span("gnn.batch_assemble");
   span.add("configs", static_cast<double>(configs.size()));
   const auto kc = cache_for(kernel);  // pins the template against eviction
-
-  // Skeleton lookup (MRU list, keyed by kernel + digest + batch size).
-  Skeleton* skel = nullptr;
-  for (auto it = skeletons_.begin(); it != skeletons_.end(); ++it) {
-    if (it->kernel == kernel.name && it->digest == kc->digest &&
-        it->batch_size == configs.size()) {
-      skeletons_.splice(skeletons_.begin(), skeletons_, it);
-      skel = &skeletons_.front();
-      break;
-    }
-  }
-  if (skel) {
-    obs::add(c_hits);
-  } else {
-    obs::add(c_misses);
-    // Assemble the batch once from B copies of the template graph (pragma
-    // slots zero) — exactly what make_batch over featurized graphs
-    // produces for everything except the per-config slots written below.
-    gnn::GraphData proto;
-    proto.x = kc->base_x;
-    proto.e = kc->edge_feats;
-    proto.src = kc->src;
-    proto.dst = kc->dst;
-    proto.aux = tensor::Tensor({static_cast<std::int64_t>(kMaxPragmaSites) *
-                                graphgen::kPragmaVectorPerSite});
-    std::vector<const gnn::GraphData*> protos(configs.size(), &proto);
-    skeletons_.push_front(Skeleton{kernel.name, kc->digest, configs.size(),
-                                   gnn::make_batch(protos)});
-    if (skeletons_.size() > kMaxSkeletons) skeletons_.pop_back();
-    skel = &skeletons_.front();
-  }
+  if (kernel.name != slot.kernel || kc->digest != slot.digest)
+    throw std::invalid_argument("write_slot: slot belongs to another kernel");
 
   // Per-config featurization: rewrite only the pragma-dependent slots of
   // each graph's rows (write_pragma_features clears them first, so reuse
   // across calls never leaks a previous configuration). Disjoint row
   // ranges per config — safe to fan out.
-  gnn::GraphBatch& b = skel->batch;
+  gnn::GraphBatch& b = slot.batch;
   const std::int64_t fa = b.aux.cols();
   util::parallel_for(
       static_cast<std::int64_t>(configs.size()), 8,
@@ -220,7 +233,26 @@ const gnn::GraphBatch& SampleFactory::batch_for(
                                         b.aux.data() + i * fa);
         }
       });
-  return b;
+}
+
+void SampleFactory::release_slot(std::shared_ptr<BatchSlot> slot) {
+  if (!slot) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_slots_.push_front(std::move(slot));
+  if (free_slots_.size() > kMaxSkeletons) free_slots_.pop_back();
+}
+
+const gnn::GraphBatch& SampleFactory::batch_for(
+    const kir::Kernel& kernel, std::span<const hlssim::DesignConfig> configs) {
+  if (configs.empty())
+    throw std::invalid_argument("batch_for: empty config list");
+  // Release-then-reacquire keeps the previous call's skeleton at the front
+  // of the free list, so back-to-back chunks of the same shape reuse one
+  // batch (and one batch_id) exactly as the old single-slot cache did.
+  if (held_slot_) release_slot(std::move(held_slot_));
+  held_slot_ = acquire_slot(kernel, configs.size());
+  write_slot(kernel, configs, *held_slot_);
+  return held_slot_->batch;
 }
 
 Sample SampleFactory::make(const kir::Kernel& kernel,

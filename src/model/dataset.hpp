@@ -58,17 +58,21 @@ struct Sample {
 ///    `gnn.template_evictions`, with the resident estimate in the
 ///    `gnn.template_bytes` gauge.
 ///  * batch skeleton — the assembled GraphBatch for B copies of the
-///    template graph, cached per (kernel, B) since topology (src_sl/
+///    template graph, pooled per (kernel, B) since topology (src_sl/
 ///    dst_sl/gcn_coeff/node_graph/node_offset) is identical across
-///    configurations. batch_for() reduces per-config featurization to
-///    rewriting pragma feature slots inside the cached batch.
+///    configurations. acquire_slot()/write_slot()/release_slot() lease
+///    skeletons out of a bounded free list; batch_for() is a convenience
+///    wrapper holding one lease, reducing per-config featurization to
+///    rewriting pragma feature slots inside the pooled batch.
 ///    Telemetry: `gnn.batch_skeleton_hits` / `gnn.batch_skeleton_misses`.
 ///
 /// Thread-safe for featurize()/space()/graph() (mutex-guarded map with
-/// reference-stable, immutable-once-built entries) — the parallel DSE and
-/// trainer stages rely on that. batch_for() is single-consumer: it returns
-/// a reference into the skeleton cache that is valid (and must not be used
-/// concurrently) until the next batch_for() call on the same factory.
+/// reference-stable, immutable-once-built entries) and for acquire_slot()/
+/// release_slot() (mutex-guarded free list) — the parallel DSE, the
+/// pipelined sweep engine, and trainer stages rely on that. batch_for() is
+/// single-consumer: it returns a reference into its held slot that is
+/// valid (and must not be used concurrently) until the next batch_for()
+/// call on the same factory.
 class SampleFactory {
  public:
   /// Budget from GNNDSE_TEMPLATE_BUDGET (default 256 MiB).
@@ -102,6 +106,32 @@ class SampleFactory {
   const gnn::GraphBatch& batch_for(const kir::Kernel& kernel,
                                    std::span<const hlssim::DesignConfig> configs);
 
+  /// A leased batch skeleton: the assembled GraphBatch for `size` copies of
+  /// one kernel's template graph, owned by the caller until release_slot().
+  /// Unlike batch_for()'s single shared slot, several leased slots of the
+  /// same (kernel, size) can be live at once — the pipelined sweep engine
+  /// double-buffers two and writes them from different threads. The
+  /// GraphBatch (and its batch_id, which keys the conv layers'
+  /// edge-projection caches) stays stable across write_slot() calls;
+  /// release_slot() parks it on a bounded free list so repeated sweeps
+  /// (serve jobs) reacquire warm skeletons and keep their projections.
+  struct BatchSlot {
+    std::string kernel;
+    std::uint64_t digest = 0;
+    std::size_t size = 0;
+    gnn::GraphBatch batch;
+  };
+  std::shared_ptr<BatchSlot> acquire_slot(const kir::Kernel& kernel,
+                                          std::size_t size);
+  /// Rewrites the slot's pragma-dependent feature slots for `configs`
+  /// (configs.size() must equal slot.size). Bit-identical to featurizing
+  /// each config and calling gnn::make_batch. Thread-safe across distinct
+  /// slots; a single slot is single-writer.
+  void write_slot(const kir::Kernel& kernel,
+                  std::span<const hlssim::DesignConfig> configs,
+                  BatchSlot& slot);
+  void release_slot(std::shared_ptr<BatchSlot> slot);
+
   const dspace::DesignSpace& space(const kir::Kernel& kernel);
   const graphgen::ProgramGraph& graph(const kir::Kernel& kernel);
 
@@ -127,18 +157,16 @@ class SampleFactory {
   /// estimate fits the budget. Caller holds mu_.
   void enforce_budget_locked();
 
-  struct Skeleton {
-    std::string kernel;
-    std::uint64_t digest = 0;
-    std::size_t batch_size = 0;
-    gnn::GraphBatch batch;
-  };
-  /// Most-recently-used first; capped at kMaxSkeletons (a 256-config
-  /// skeleton of a mid-size kernel is ~13 MB of node features — DSE works
-  /// one kernel at a time, so a small cache covers the full+tail chunk
-  /// sizes without ballooning across a 9-kernel run).
+  /// Free slots, most-recently-released first; capped at kMaxSkeletons (a
+  /// 256-config skeleton of a mid-size kernel is ~13 MB of node features —
+  /// DSE works one kernel at a time, so a small pool covers the
+  /// double-buffered full + tail chunk sizes without ballooning across a
+  /// 9-kernel run). Guarded by mu_; leased slots live outside the list.
   static constexpr std::size_t kMaxSkeletons = 4;
-  std::list<Skeleton> skeletons_;
+  std::list<std::shared_ptr<BatchSlot>> free_slots_;
+  /// batch_for()'s single shared lease (released and reacquired per call,
+  /// so the MRU free slot keeps its batch_id across calls).
+  std::shared_ptr<BatchSlot> held_slot_;
 
   std::mutex mu_;
   struct TemplateEntry {

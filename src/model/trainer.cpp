@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace gnndse::model {
@@ -137,6 +138,27 @@ const Tensor& Trainer::predict_batch(const gnn::GraphBatch& batch) {
     g_ws.set(static_cast<double>(session_.workspace_bytes()));
   }
   return pred;
+}
+
+void predict_batch_concurrent(std::span<Trainer* const> heads,
+                              const gnn::GraphBatch& batch,
+                              std::span<const tensor::Tensor*> out) {
+  if (heads.size() != out.size())
+    throw std::invalid_argument("predict_batch_concurrent: size mismatch");
+  // One pool task per head (grain 1). With a single-lane pool (or inside a
+  // nested parallel region) the chunks run inline in index order, which is
+  // exactly the sequential head-after-head path; with more lanes the heads
+  // run concurrently, each confined to its own trainer's workspace. Either
+  // way every head computes the same bits. parallel_for marks its workers
+  // as in-parallel, so the matmuls inside each head run inline rather than
+  // re-entering the pool.
+  util::parallel_for(static_cast<std::int64_t>(heads.size()), 1,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         const auto h = static_cast<std::size_t>(i);
+                         out[h] = &heads[h]->predict_batch(batch);
+                       }
+                     });
 }
 
 namespace {

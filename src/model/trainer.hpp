@@ -93,6 +93,18 @@ class Trainer {
   gnn::InferenceSession session_;
 };
 
+/// Fast-path forward of one shared batch through several independent model
+/// heads, dispatched as parallel tasks on the util pool (one task per
+/// head). Each head runs entirely inside its own trainer's
+/// InferenceSession workspace, so the results are bit-identical to calling
+/// heads[i]->predict_batch(batch) sequentially — at every thread count
+/// (enforced by tests/test_sweep.cpp). out[i] points into heads[i]'s
+/// workspace and stays valid until that trainer's next predict call.
+/// The batch must stay immutable for the duration of the call.
+void predict_batch_concurrent(std::span<Trainer* const> heads,
+                              const gnn::GraphBatch& batch,
+                              std::span<const tensor::Tensor*> out);
+
 RegressionMetrics eval_regression(Trainer& trainer, const Dataset& ds,
                                   const std::vector<std::size_t>& test_idx);
 

@@ -298,6 +298,12 @@ std::string Server::handle_poll(const Request& req) {
            std::to_string(obs::counter("dse.configs_explored").value());
     out += ",\"frontier\":" +
            double_str(obs::gauge("dse.frontier_size").value());
+    // Sweep-pipeline health: stage-time / wall-time so far (> 1 means
+    // featurize genuinely overlaps predict) and the live scoring rate.
+    out += ",\"overlap_ratio\":" +
+           double_str(obs::gauge("dse.pipeline.overlap_ratio").value());
+    out += ",\"configs_per_sec\":" +
+           double_str(obs::gauge("dse.sweep_configs_per_sec").value());
     out += "}";
     return out;
   }
@@ -311,6 +317,11 @@ std::string Server::handle_poll(const Request& req) {
   out += ",\"model_version\":" + std::to_string(job->model_version);
   out += ",\"num_explored\":" + std::to_string(r.num_explored);
   out += ",\"search_seconds\":" + double_str(r.search_seconds);
+  out += ",\"stages\":{\"featurize_ms\":" + double_str(r.stages.featurize_ms) +
+         ",\"predict_ms\":" + double_str(r.stages.predict_ms) +
+         ",\"rank_ms\":" + double_str(r.stages.rank_ms) +
+         ",\"wall_ms\":" + double_str(r.stages.wall_ms) +
+         ",\"overlap_ratio\":" + double_str(r.stages.overlap_ratio) + "}";
   out += ",\"top\":[";
   for (std::size_t i = 0; i < r.top.size(); ++i) {
     if (i) out += ",";

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace gnndse::util {
@@ -105,7 +106,21 @@ class Pool {
 int default_lanes() {
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   if (hw < 1) hw = 1;
-  return std::clamp(env_int("GNNDSE_THREADS", hw), 1, 256);
+  const int requested = std::clamp(env_int("GNNDSE_THREADS", hw), 1, 256);
+  // Oversubscribing a CPU-bound static-chunk pool only adds scheduler
+  // churn (BENCH_parallel.json: 8 threads on 1 core run 0.97x of 1
+  // thread), so a GNNDSE_THREADS above the hardware thread count clamps
+  // down. GNNDSE_THREADS_OVERSUBSCRIBE=1 keeps the literal request —
+  // needed by tests that pin a multi-lane pool on small CI machines to
+  // exercise cross-thread paths. set_parallel_threads() is exempt: an
+  // explicit programmatic resize is taken at face value.
+  if (requested > hw && env_int("GNNDSE_THREADS_OVERSUBSCRIBE", 0) == 0) {
+    log_warn("GNNDSE_THREADS=", requested, " oversubscribes ", hw,
+             " hardware thread(s); clamping the pool to ", hw,
+             " (set GNNDSE_THREADS_OVERSUBSCRIBE=1 to override)");
+    return hw;
+  }
+  return requested;
 }
 
 std::mutex& pool_mu() {

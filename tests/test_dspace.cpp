@@ -53,7 +53,10 @@ TEST(DesignSpace, PrunedCountMatchesEnumeration) {
     kir::Kernel k = kernels::make_kernel(name);
     DesignSpace space(k);
     std::uint64_t counted = 0;
-    space.for_each([&](const DesignConfig&) { ++counted; });
+    space.for_each([&](DesignConfig&&) {
+      ++counted;
+      return true;
+    });
     EXPECT_EQ(counted, space.pruned_size()) << name;
   }
 }
@@ -77,8 +80,23 @@ TEST(DesignSpace, ForEachRespectsLimit) {
   kir::Kernel k = kernels::make_kernel("stencil");
   DesignSpace space(k);
   std::uint64_t n = 0;
-  space.for_each([&](const DesignConfig&) { ++n; }, 50);
+  space.for_each(
+      [&](DesignConfig&&) {
+        ++n;
+        return true;
+      },
+      50);
   EXPECT_EQ(n, 50u);
+}
+
+TEST(DesignSpace, ForEachVisitorCanStopEnumeration) {
+  // Returning false must stop the sweep immediately — cancelled DSE runs
+  // rely on this to avoid decoding the rest of a large space.
+  kir::Kernel k = kernels::make_kernel("stencil");
+  DesignSpace space(k);
+  std::uint64_t n = 0;
+  space.for_each([&](DesignConfig&&) { return ++n < 7; });
+  EXPECT_EQ(n, 7u);
 }
 
 TEST(DesignSpace, SampleNeverPruned) {

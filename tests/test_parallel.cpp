@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "dspace/design_space.hpp"
@@ -249,6 +252,28 @@ TEST_F(ParallelMatmul, BitIdenticalToSerialReferenceAtEveryThreadCount) {
       }
     }
   }
+}
+
+TEST_F(ParallelFor, EnvThreadRequestClampsToHardwareConcurrency) {
+  // GNNDSE_THREADS above the hardware thread count clamps to it (an
+  // oversubscribed static-chunk pool is pure scheduler churn) unless the
+  // OVERSUBSCRIBE escape hatch keeps the literal request. Explicit
+  // set_parallel_threads() calls stay exempt — the other tests in this
+  // suite pin 4- and 8-lane pools on any machine.
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  const std::string request = std::to_string(hw + 6);
+  ::setenv("GNNDSE_THREADS", request.c_str(), 1);
+  ::unsetenv("GNNDSE_THREADS_OVERSUBSCRIBE");
+  set_parallel_threads(0);  // drop the pool; next use resolves env defaults
+  EXPECT_EQ(util::parallel_threads(), hw);
+
+  ::setenv("GNNDSE_THREADS_OVERSUBSCRIBE", "1", 1);
+  set_parallel_threads(0);
+  EXPECT_EQ(util::parallel_threads(), hw + 6);
+
+  ::unsetenv("GNNDSE_THREADS");
+  ::unsetenv("GNNDSE_THREADS_OVERSUBSCRIBE");
 }
 
 TEST_F(ParallelDeterminism, PredictGraphsBitIdenticalAcrossThreadCounts) {

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -377,6 +379,87 @@ TEST(ServeServer, LoopbackPredictStatsDrain) {
   std::string drained;
   ASSERT_TRUE(lines.read_line(&drained));
   EXPECT_NE(drained.find("\"op\":\"drain\""), std::string::npos) << drained;
+  runner.join();
+}
+
+// The pipelined sweep engine runs inside the daemon's sweep jobs while the
+// batcher keeps serving predict traffic. Fire predicts from two
+// connections for the whole life of a sweep job (this binary runs under
+// TSan via scripts/check_tsan.sh — the point is the concurrency, not the
+// sweep's outcome) and require every predict to succeed and the terminal
+// poll to carry the per-stage breakdown.
+TEST(ServeStress, SweepUnderConcurrentPredictFire) {
+  ModelSlot slot;
+  slot.install(make_snapshot(7));
+  model::SampleFactory factory;
+  serve::ServerOptions so;
+  so.port = 0;
+  so.batcher.max_batch = 4;
+  so.batcher.max_wait_us = 200;
+  serve::Server server(slot, factory, so);
+  std::thread runner([&] { server.run(); });
+
+  kir::Kernel k = test_kernel();
+  const std::string kj = kernel_json_line(k);
+
+  serve::Socket sock = serve::connect_to("127.0.0.1", server.port());
+  serve::LineReader lines(sock);
+  ASSERT_TRUE(sock.send_line("{\"kind\":\"sweep\",\"id\":1,\"kernel\":" + kj +
+                             ",\"time_limit\":30}"));
+  std::string resp;
+  ASSERT_TRUE(lines.read_line(&resp));
+  const auto jstart = resp.find("\"job\":\"");
+  ASSERT_NE(jstart, std::string::npos) << resp;
+  const auto jpos = jstart + std::strlen("\"job\":\"");
+  const std::string job = resp.substr(jpos, resp.find('"', jpos) - jpos);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> fired{0};
+  auto fire = [&] {
+    serve::Socket s = serve::connect_to("127.0.0.1", server.port());
+    serve::LineReader lr(s);
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!s.send_line("{\"kind\":\"predict\",\"kernel\":" + kj + "}")) break;
+      std::string l;
+      if (!lr.read_line(&l)) break;
+      EXPECT_NE(l.find("\"ok\":true"), std::string::npos) << l;
+      ++fired;
+    }
+  };
+  std::thread f1(fire), f2(fire);
+
+  // Poll while traffic flows; after a grace period cancel the job so the
+  // test's duration doesn't depend on the generated kernel's space size.
+  std::string terminal;
+  bool cancel_sent = false;
+  for (int polls = 0; terminal.empty(); ++polls) {
+    ASSERT_TRUE(sock.send_line("{\"kind\":\"poll\",\"job\":\"" + job + "\"}"));
+    ASSERT_TRUE(lines.read_line(&resp));
+    ASSERT_EQ(resp.find("\"ok\":false"), std::string::npos) << resp;
+    if (resp.find("\"state\":\"running\"") == std::string::npos) {
+      terminal = resp;
+      break;
+    }
+    if (polls >= 20 && !cancel_sent) {
+      ASSERT_TRUE(
+          sock.send_line("{\"kind\":\"cancel\",\"job\":\"" + job + "\"}"));
+      ASSERT_TRUE(lines.read_line(&resp));
+      cancel_sent = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  f1.join();
+  f2.join();
+
+  EXPECT_GT(fired.load(), 0);
+  EXPECT_NE(terminal.find("\"stages\":{\"featurize_ms\":"), std::string::npos)
+      << terminal;
+  EXPECT_NE(terminal.find("\"overlap_ratio\":"), std::string::npos);
+
+  ASSERT_TRUE(sock.send_line("{\"kind\":\"admin\",\"op\":\"drain\",\"id\":9}"));
+  std::string drained;
+  ASSERT_TRUE(lines.read_line(&drained));
   runner.join();
 }
 
